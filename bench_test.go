@@ -1,0 +1,265 @@
+package tasq_test
+
+// One benchmark per table and figure of the TASQ paper's evaluation (see
+// DESIGN.md's per-experiment index). Each bench regenerates its
+// table/figure from the shared experiment suite — the paper-shaped output
+// can be printed with -v via the experiments command:
+//
+//	go test -bench=. -benchmem            # timings
+//	go run ./cmd/experiments -size small  # the rendered report
+//
+// The suite (workload synthesis, telemetry ingestion, model training,
+// job selection, flighting) is built once and shared; its cost is excluded
+// from the per-experiment timings.
+
+import (
+	"sync"
+	"testing"
+
+	"tasq/internal/experiments"
+	"tasq/internal/trainer"
+)
+
+var (
+	benchOnce  sync.Once
+	benchSuite *experiments.Suite
+	benchErr   error
+)
+
+func suiteForBench(b *testing.B) *experiments.Suite {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchSuite, benchErr = experiments.NewSuite(experiments.SmallConfig(7))
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchSuite
+}
+
+// report fails the bench on harness error and records one sanity metric so
+// regressions in experiment output are visible in bench diffs.
+func report(b *testing.B, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkFigure1Skyline(b *testing.B) {
+	s := suiteForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Figure1(s)
+		report(b, err)
+	}
+}
+
+func BenchmarkFigure2TokenReduction(b *testing.B) {
+	s := suiteForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure2(s)
+		report(b, err)
+		b.ReportMetric(r.Buckets[0][0]*100, "pct-jobs-no-reduction")
+	}
+}
+
+func BenchmarkFigure3PCC(b *testing.B) {
+	s := suiteForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure3(s)
+		report(b, err)
+		b.ReportMetric(float64(r.Elbow), "elbow-tokens")
+	}
+}
+
+func BenchmarkFigure5SkylineSections(b *testing.B) {
+	s := suiteForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Figure5(s)
+		report(b, err)
+	}
+}
+
+func BenchmarkFigure6And7Sections(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure6And7()
+		report(b, err)
+		if r.Original.Area() != r.Simulated.Area() {
+			b.Fatal("area not preserved")
+		}
+	}
+}
+
+func BenchmarkFigure8SimulatedSkylines(b *testing.B) {
+	s := suiteForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Figure8(s)
+		report(b, err)
+	}
+}
+
+func BenchmarkFigure9PowerLawFit(b *testing.B) {
+	s := suiteForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure9(s)
+		report(b, err)
+		b.ReportMetric(r.R2LogLog, "loglog-r2")
+	}
+}
+
+func BenchmarkFigure11JobSelection(b *testing.B) {
+	s := suiteForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure11(s)
+		report(b, err)
+		b.ReportMetric(r.KSAfter, "ks-after")
+	}
+}
+
+func BenchmarkFigure12AreaConservation(b *testing.B) {
+	s := suiteForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Figure12(s)
+		report(b, err)
+	}
+}
+
+func BenchmarkFigure13ArepasError(b *testing.B) {
+	s := suiteForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure13(s)
+		report(b, err)
+		b.ReportMetric(r.NonAnomalous.P50*100, "median-pct-error")
+	}
+}
+
+func BenchmarkMonotonicityValidation(b *testing.B) {
+	s := suiteForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.MonotonicityValidation(s)
+		report(b, err)
+		b.ReportMetric(r.Fraction*100, "pct-monotone")
+	}
+}
+
+func BenchmarkTable3ArepasAccuracy(b *testing.B) {
+	s := suiteForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table3(s)
+		report(b, err)
+		b.ReportMetric(r.NonAnomalous.MedianAPE*100, "median-ape-pct")
+	}
+}
+
+// benchTableModels runs one of Tables 4–6. Training the per-loss NN/GNN
+// variants happens once (cached on the suite) and is excluded from timing.
+func benchTableModels(b *testing.B, loss trainer.LossKind) {
+	s := suiteForBench(b)
+	// Warm the per-loss pipeline cache outside the timed region.
+	if _, err := experiments.TableModels(s, loss); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TableModels(s, loss)
+		report(b, err)
+		for _, row := range r.Rows {
+			if row.Model == trainer.ModelGNN {
+				b.ReportMetric(row.RuntimeMedianAE*100, "gnn-median-ae-pct")
+			}
+		}
+	}
+}
+
+func BenchmarkTable4ModelsLF1(b *testing.B) { benchTableModels(b, trainer.LF1) }
+func BenchmarkTable5ModelsLF2(b *testing.B) { benchTableModels(b, trainer.LF2) }
+func BenchmarkTable6ModelsLF3(b *testing.B) { benchTableModels(b, trainer.LF3) }
+
+func BenchmarkTable7ModelCosts(b *testing.B) {
+	s := suiteForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table7(s)
+		report(b, err)
+		b.ReportMetric(float64(r.Rows[1].NumParams), "gnn-params")
+	}
+}
+
+func BenchmarkTable8FlightedAccuracy(b *testing.B) {
+	s := suiteForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table8(s)
+		report(b, err)
+		b.ReportMetric(r.Savings[0].TokenSavings*100, "w1-token-savings-pct")
+	}
+}
+
+func BenchmarkExtensionSimulatorComparison(b *testing.B) {
+	s := suiteForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.SimulatorComparison(s)
+		report(b, err)
+		b.ReportMetric(r.Rows[0].MedianAPE*100, "arepas-median-ape-pct")
+	}
+}
+
+func BenchmarkAblationXGBObjective(b *testing.B) {
+	s := suiteForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.AblationXGBObjective(s)
+		report(b, err)
+	}
+}
+
+func BenchmarkAblationTargetGrid(b *testing.B) {
+	s := suiteForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationTargetGrid(s)
+		report(b, err)
+		b.ReportMetric(r.DenseMedianAPE*100, "dense-grid-median-ape-pct")
+	}
+}
+
+func BenchmarkAblationLossWeight(b *testing.B) {
+	s := suiteForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.AblationLossWeight(s)
+		report(b, err)
+	}
+}
+
+func BenchmarkExtensionAutoTokenBaseline(b *testing.B) {
+	s := suiteForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AutoTokenComparison(s)
+		report(b, err)
+		b.ReportMetric(float64(r.Outcomes[1].CoveredJobs), "autotoken-covered-jobs")
+	}
+}
+
+func BenchmarkExtensionInputDrift(b *testing.B) {
+	s := suiteForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationInputDrift(s)
+		report(b, err)
+		b.ReportMetric(r.Rows[1].StaleSkylineMedAE*100, "stale-skyline-drift-medae-pct")
+	}
+}

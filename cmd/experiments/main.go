@@ -1,0 +1,79 @@
+// Command experiments regenerates every table and figure of the TASQ
+// paper's evaluation on the synthetic substrate (see DESIGN.md's
+// per-experiment index) and prints the report, optionally writing it to a
+// file for EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments -size small|full -seed 7 [-out report.txt] [-only "Table 3"]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tasq/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	size := fs.String("size", "small", "suite size: small or full")
+	seed := fs.Int64("seed", 7, "random seed")
+	out := fs.String("out", "", "also write the report to this file")
+	only := fs.String("only", "", "run only experiments whose ID contains this substring")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var cfg experiments.SuiteConfig
+	switch *size {
+	case "small":
+		cfg = experiments.SmallConfig(*seed)
+	case "full":
+		cfg = experiments.FullConfig(*seed)
+	default:
+		return fmt.Errorf("unknown size %q (want small or full)", *size)
+	}
+
+	fmt.Fprintf(os.Stderr, "building suite (%d train / %d test jobs)...\n", cfg.TrainJobs, cfg.TestJobs)
+	suite, err := experiments.NewSuite(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "suite ready in %s (%d flighted jobs, %d runs)\n",
+		suite.BuildDuration.Round(1e7), len(suite.Flights.Jobs), suite.Flights.TotalRuns)
+
+	entries := experiments.RunAll(suite)
+	if *only != "" {
+		var filtered []experiments.ReportEntry
+		for _, e := range entries {
+			if strings.Contains(strings.ToLower(e.ID), strings.ToLower(*only)) {
+				filtered = append(filtered, e)
+			}
+		}
+		entries = filtered
+	}
+	report := experiments.RenderReport(entries)
+	fmt.Print(report)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "report written to %s\n", *out)
+	}
+	for _, e := range entries {
+		if e.Err != nil {
+			return fmt.Errorf("%s failed: %w", e.ID, e.Err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadSize(t *testing.T) {
+	if err := run([]string{"-size", "gigantic"}); err == nil {
+		t.Fatal("bad size accepted")
+	}
+}
+
+func TestRunSingleExperimentToFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a suite")
+	}
+	out := filepath.Join(t.TempDir(), "report.txt")
+	// -only narrows to the cheap Figures 6/7 so the test stays fast after
+	// the (unavoidable) suite build.
+	if err := run([]string{"-size", "small", "-seed", "3", "-only", "Figures 6/7", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "AREPAS section behaviour") {
+		t.Fatalf("report content unexpected: %q", string(data))
+	}
+}

@@ -1,0 +1,380 @@
+// Command tasq is the command-line entry point to the TASQ reproduction:
+// it generates synthetic SCOPE-like workloads, trains and persists the
+// model pipeline, evaluates it, runs AREPAS what-if simulations, performs
+// the §5.1 job selection, and scores jobs for optimal token allocations.
+//
+// Usage:
+//
+//	tasq generate -n 1000 -seed 1 -out repo.jsonl [-scale 1.0]
+//	tasq stats    -data repo.jsonl
+//	tasq train    -data repo.jsonl -out model.gob [-loss LF2] [-skip-gnn]
+//	tasq evaluate -data test.jsonl -model model.gob
+//	tasq simulate -data repo.jsonl -job <id> -tokens 40
+//	tasq select   -data repo.jsonl -k 8 -sample 200 -seed 1
+//	tasq flight   -data repo.jsonl -k 8 -sample 100 -seed 1
+//	tasq score    -data repo.jsonl -model model.gob -job <id> [-threshold 0.01]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"tasq/internal/arepas"
+	"tasq/internal/flight"
+	"tasq/internal/jobrepo"
+	"tasq/internal/scopesim"
+	"tasq/internal/selection"
+	"tasq/internal/stats"
+	"tasq/internal/trainer"
+	"tasq/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tasq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "generate":
+		return cmdGenerate(args[1:])
+	case "stats":
+		return cmdStats(args[1:])
+	case "train":
+		return cmdTrain(args[1:])
+	case "evaluate":
+		return cmdEvaluate(args[1:])
+	case "simulate":
+		return cmdSimulate(args[1:])
+	case "select":
+		return cmdSelect(args[1:])
+	case "flight":
+		return cmdFlight(args[1:])
+	case "score":
+		return cmdScore(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: tasq <generate|stats|train|evaluate|simulate|select|flight|score> [flags]
+run "tasq <subcommand> -h" for flags`)
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
+	n := fs.Int("n", 1000, "number of jobs")
+	seed := fs.Int64("seed", 1, "random seed")
+	scale := fs.Float64("scale", 1.0, "workload size scale")
+	out := fs.String("out", "repo.jsonl", "output JSONL path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := workload.DefaultConfig(*seed)
+	cfg.SizeScale = *scale
+	gen := workload.New(cfg)
+	jobs := gen.Workload(*n)
+	for i, j := range jobs {
+		j.Anonymize(i)
+	}
+	repo := jobrepo.New()
+	if err := repo.Ingest(jobs, &scopesim.Executor{}); err != nil {
+		return err
+	}
+	if err := repo.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("generated %d jobs -> %s\n", repo.Len(), *out)
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	data := fs.String("data", "repo.jsonl", "repository JSONL path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	repo, err := jobrepo.LoadFile(*data)
+	if err != nil {
+		return err
+	}
+	var rts, toks, peaks []float64
+	var recurring int
+	for _, rec := range repo.All() {
+		rts = append(rts, float64(rec.RuntimeSeconds))
+		toks = append(toks, float64(rec.ObservedTokens))
+		peaks = append(peaks, float64(rec.Skyline.Peak()))
+		if rec.Job.Template != "" {
+			recurring++
+		}
+	}
+	fmt.Printf("jobs: %d (%d recurring, %d ad-hoc)\n", repo.Len(), recurring, repo.Len()-recurring)
+	fmt.Printf("run time (s): min %.0f median %.0f mean %.0f max %.0f\n",
+		stats.Min(rts), stats.Median(rts), stats.Mean(rts), stats.Max(rts))
+	fmt.Printf("requested tokens: median %.0f mean %.0f\n", stats.Median(toks), stats.Mean(toks))
+	fmt.Printf("peak tokens used: min %.0f median %.0f mean %.0f max %.0f\n",
+		stats.Min(peaks), stats.Median(peaks), stats.Mean(peaks), stats.Max(peaks))
+	return nil
+}
+
+func parseLoss(s string) (trainer.LossKind, error) {
+	switch s {
+	case "LF1", "lf1":
+		return trainer.LF1, nil
+	case "LF2", "lf2", "":
+		return trainer.LF2, nil
+	case "LF3", "lf3":
+		return trainer.LF3, nil
+	default:
+		return 0, fmt.Errorf("unknown loss %q (want LF1, LF2 or LF3)", s)
+	}
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	data := fs.String("data", "repo.jsonl", "training repository JSONL")
+	out := fs.String("out", "model.gob", "output model path")
+	seed := fs.Int64("seed", 1, "random seed")
+	lossName := fs.String("loss", "LF2", "NN/GNN loss: LF1, LF2 or LF3")
+	skipGNN := fs.Bool("skip-gnn", false, "skip the (slow) GNN")
+	nnEpochs := fs.Int("nn-epochs", 0, "override NN epochs")
+	gnnEpochs := fs.Int("gnn-epochs", 0, "override GNN epochs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	loss, err := parseLoss(*lossName)
+	if err != nil {
+		return err
+	}
+	repo, err := jobrepo.LoadFile(*data)
+	if err != nil {
+		return err
+	}
+	cfg := trainer.DefaultConfig(*seed)
+	cfg.NN.Loss = loss
+	cfg.GNN.Loss = loss
+	cfg.SkipGNN = *skipGNN
+	if *nnEpochs > 0 {
+		cfg.NN.Epochs = *nnEpochs
+	}
+	if *gnnEpochs > 0 {
+		cfg.GNN.Epochs = *gnnEpochs
+	}
+	p, err := trainer.Train(repo.All(), cfg)
+	if err != nil {
+		return err
+	}
+	if err := trainer.SavePipelineFile(p, *out); err != nil {
+		return err
+	}
+	fmt.Printf("trained on %d jobs (loss %s) -> %s\n", repo.Len(), loss, *out)
+	if p.NN != nil {
+		fmt.Printf("NN parameters: %d\n", p.NN.NumParams())
+	}
+	if p.GNN != nil {
+		fmt.Printf("GNN parameters: %d\n", p.GNN.NumParams())
+	}
+	return nil
+}
+
+func cmdEvaluate(args []string) error {
+	fs := flag.NewFlagSet("evaluate", flag.ContinueOnError)
+	data := fs.String("data", "test.jsonl", "test repository JSONL")
+	model := fs.String("model", "model.gob", "trained model path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	repo, err := jobrepo.LoadFile(*data)
+	if err != nil {
+		return err
+	}
+	p, err := trainer.LoadPipelineFile(*model)
+	if err != nil {
+		return err
+	}
+	evals, err := p.EvaluateHistorical(repo.All())
+	if err != nil {
+		return err
+	}
+	trainer.SortEvals(evals)
+	fmt.Printf("%-12s %-24s %-20s %s\n", "Model", "Pattern (Non-Increase)", "MAE (Curve Params)", "Median AE (Run Time)")
+	for _, e := range evals {
+		params := "NA"
+		if !math.IsNaN(e.ParamMAE) {
+			params = fmt.Sprintf("%.3f", e.ParamMAE)
+		}
+		fmt.Printf("%-12s %-24s %-20s %.0f%%\n", e.Model, fmt.Sprintf("%.0f%%", e.Pattern*100), params, e.RuntimeMedianAE*100)
+	}
+	return nil
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	data := fs.String("data", "repo.jsonl", "repository JSONL")
+	jobID := fs.String("job", "", "job ID (defaults to the first job)")
+	tokens := fs.Int("tokens", 0, "token allocation to simulate (default 50% of observed)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	repo, err := jobrepo.LoadFile(*data)
+	if err != nil {
+		return err
+	}
+	rec := repo.Get(*jobID)
+	if rec == nil {
+		if *jobID != "" {
+			return fmt.Errorf("job %q not found", *jobID)
+		}
+		if repo.Len() == 0 {
+			return fmt.Errorf("repository is empty")
+		}
+		rec = repo.All()[0]
+	}
+	tok := *tokens
+	if tok <= 0 {
+		tok = rec.ObservedTokens / 2
+		if tok < 1 {
+			tok = 1
+		}
+	}
+	sim, err := arepas.Simulate(rec.Skyline, tok)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %s: observed %ds at %d tokens (peak %d, area %d tok-s)\n",
+		rec.Job.ID, rec.RuntimeSeconds, rec.ObservedTokens, rec.Skyline.Peak(), rec.Skyline.Area())
+	fmt.Printf("AREPAS at %d tokens: %ds (%.1f%% slower), area %d tok-s\n",
+		tok, sim.Runtime(), (float64(sim.Runtime())/float64(rec.RuntimeSeconds)-1)*100, sim.Area())
+	return nil
+}
+
+func cmdSelect(args []string) error {
+	fs := flag.NewFlagSet("select", flag.ContinueOnError)
+	data := fs.String("data", "repo.jsonl", "repository JSONL")
+	k := fs.Int("k", 8, "number of k-means clusters")
+	sample := fs.Int("sample", 200, "target subset size")
+	seed := fs.Int64("seed", 1, "random seed")
+	minTok := fs.Int("min-tokens", 0, "pool constraint: minimum observed tokens")
+	maxTok := fs.Int("max-tokens", 0, "pool constraint: maximum observed tokens")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	repo, err := jobrepo.LoadFile(*data)
+	if err != nil {
+		return err
+	}
+	pool := repo.Query(jobrepo.Filter{MinTokens: *minTok, MaxTokens: *maxTok})
+	res, err := selection.Select(repo.All(), pool, selection.Config{K: *k, SampleSize: *sample, MaxPerTemplate: 3, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("selected %d of %d pool jobs (population %d)\n", len(res.Selected), len(pool), repo.Len())
+	fmt.Printf("KS statistic: pool %.3f -> selected %.3f\n", res.KSBefore, res.KSAfter)
+	for c := range res.PopulationProportions {
+		fmt.Printf("cluster %d: population %5.1f%%  pool %5.1f%%  selected %5.1f%%\n",
+			c, res.PopulationProportions[c]*100, res.PoolProportions[c]*100, res.SelectedProportions[c]*100)
+	}
+	return nil
+}
+
+// cmdFlight runs the §5.1 protocol end to end: stratified job selection,
+// redundant noisy re-execution at several token counts with anomaly
+// filtering, and the Table 3 AREPAS validation.
+func cmdFlight(args []string) error {
+	fs := flag.NewFlagSet("flight", flag.ContinueOnError)
+	data := fs.String("data", "repo.jsonl", "repository JSONL")
+	k := fs.Int("k", 8, "number of k-means clusters for selection")
+	sample := fs.Int("sample", 100, "jobs to select and flight")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	repo, err := jobrepo.LoadFile(*data)
+	if err != nil {
+		return err
+	}
+	sel, err := selection.Select(repo.All(), repo.All(),
+		selection.Config{K: *k, SampleSize: *sample, MaxPerTemplate: 3, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	ds, err := flight.Execute(sel.Selected, &scopesim.Executor{}, flight.DefaultConfig(*seed))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("flighted %d jobs (%d runs); rejected: %d isolated, %d overuse, %d non-monotone\n",
+		len(ds.Jobs), ds.TotalRuns, ds.RejectedIsolated, ds.RejectedOveruse, ds.RejectedNonMonotone)
+	rep, err := flight.ValidateArepas(ds.Jobs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("AREPAS vs flighted ground truth over %d comparisons: MedianAPE %.1f%%, MeanAPE %.1f%%\n",
+		rep.Comparisons, rep.MedianAPE*100, rep.MeanAPE*100)
+	full := ds.FullyMatched(0.3)
+	fullRep, err := flight.ValidateArepas(full)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fully-matched subset (%d jobs): MedianAPE %.1f%%, MeanAPE %.1f%%\n",
+		len(full), fullRep.MedianAPE*100, fullRep.MeanAPE*100)
+	return nil
+}
+
+func cmdScore(args []string) error {
+	fs := flag.NewFlagSet("score", flag.ContinueOnError)
+	data := fs.String("data", "repo.jsonl", "repository JSONL")
+	model := fs.String("model", "model.gob", "trained model path")
+	jobID := fs.String("job", "", "job ID (defaults to the first job)")
+	threshold := fs.Float64("threshold", 0.01, "optimal-allocation threshold (marginal gain per token)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	repo, err := jobrepo.LoadFile(*data)
+	if err != nil {
+		return err
+	}
+	p, err := trainer.LoadPipelineFile(*model)
+	if err != nil {
+		return err
+	}
+	rec := repo.Get(*jobID)
+	if rec == nil {
+		if *jobID != "" {
+			return fmt.Errorf("job %q not found", *jobID)
+		}
+		if repo.Len() == 0 {
+			return fmt.Errorf("repository is empty")
+		}
+		rec = repo.All()[0]
+	}
+	curve, modelName, err := p.ScoreJob(rec.Job)
+	if err != nil {
+		return err
+	}
+	opt := curve.OptimalTokens(1, rec.ObservedTokens, *threshold)
+	fmt.Printf("job %s scored by %s: %s\n", rec.Job.ID, modelName, curve)
+	fmt.Printf("requested %d tokens; optimal %d tokens (threshold %.2f%%/token)\n",
+		rec.ObservedTokens, opt, *threshold*100)
+	fmt.Println("what-if run times:")
+	for _, f := range []float64{0.25, 0.5, 0.75, 1.0} {
+		tok := int(f * float64(rec.ObservedTokens))
+		if tok < 1 {
+			tok = 1
+		}
+		fmt.Printf("  %4d tokens -> %7.1fs\n", tok, curve.Runtime(float64(tok)))
+	}
+	return nil
+}

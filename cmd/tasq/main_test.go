@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCLIWorkflow drives the full generate → stats → train → evaluate →
+// simulate → select → score workflow through run().
+func TestCLIWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	repo := filepath.Join(dir, "repo.jsonl")
+	model := filepath.Join(dir, "model.gob")
+
+	steps := [][]string{
+		{"generate", "-n", "120", "-seed", "3", "-scale", "0.25", "-out", repo},
+		{"stats", "-data", repo},
+		{"train", "-data", repo, "-out", model, "-nn-epochs", "10", "-skip-gnn"},
+		{"evaluate", "-data", repo, "-model", model},
+		{"simulate", "-data", repo},
+		{"select", "-data", repo, "-k", "4", "-sample", "20"},
+		{"flight", "-data", repo, "-k", "4", "-sample", "15"},
+		{"score", "-data", repo, "-model", model},
+	}
+	for _, args := range steps {
+		if err := run(args); err != nil {
+			t.Fatalf("tasq %v: %v", args, err)
+		}
+	}
+	if _, err := os.Stat(model); err != nil {
+		t.Fatalf("model file not written: %v", err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing subcommand accepted")
+	}
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run([]string{"stats", "-data", "/nonexistent/repo.jsonl"}); err == nil {
+		t.Fatal("missing data file accepted")
+	}
+	if err := run([]string{"train", "-data", "/nonexistent/repo.jsonl"}); err == nil {
+		t.Fatal("missing training data accepted")
+	}
+	if err := run([]string{"train", "-loss", "LF9"}); err == nil {
+		t.Fatal("bad loss accepted")
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Fatalf("help failed: %v", err)
+	}
+}
+
+func TestCLIUnknownJob(t *testing.T) {
+	dir := t.TempDir()
+	repo := filepath.Join(dir, "repo.jsonl")
+	model := filepath.Join(dir, "model.gob")
+	if err := run([]string{"generate", "-n", "30", "-seed", "1", "-scale", "0.25", "-out", repo}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"train", "-data", repo, "-out", model, "-nn-epochs", "5", "-skip-gnn"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"simulate", "-data", repo, "-job", "nope"}); err == nil {
+		t.Fatal("unknown job accepted by simulate")
+	}
+	if err := run([]string{"score", "-data", repo, "-model", model, "-job", "nope"}); err == nil {
+		t.Fatal("unknown job accepted by score")
+	}
+}
+
+func TestParseLoss(t *testing.T) {
+	for _, ok := range []string{"LF1", "lf2", "LF3", ""} {
+		if _, err := parseLoss(ok); err != nil {
+			t.Fatalf("parseLoss(%q): %v", ok, err)
+		}
+	}
+	if _, err := parseLoss("LF4"); err == nil {
+		t.Fatal("LF4 accepted")
+	}
+}

@@ -1,0 +1,54 @@
+// Command tasqd serves PCC predictions over HTTP — the deployed model
+// endpoint of the paper's Figure 4 system integration. It loads a pipeline
+// trained and persisted with "tasq train" and exposes:
+//
+//	GET  /healthz   liveness probe
+//	POST /v1/score  job scoring (see internal/serve for the schema)
+//
+// Usage:
+//
+//	tasqd -model model.gob -addr :8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"tasq/internal/serve"
+	"tasq/internal/trainer"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tasqd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tasqd", flag.ContinueOnError)
+	model := fs.String("model", "model.gob", "trained model path (from 'tasq train')")
+	addr := fs.String("addr", ":8080", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := trainer.LoadPipelineFile(*model)
+	if err != nil {
+		return err
+	}
+	srv, err := serve.NewServer(p)
+	if err != nil {
+		return err
+	}
+	log.Printf("tasqd: serving model %s on %s", *model, *addr)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return httpSrv.ListenAndServe()
+}

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRunMissingModel(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "nope.gob")
+	if err := run([]string{"-model", missing, "-addr", "127.0.0.1:0"}); err == nil {
+		t.Fatal("missing model accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,33 @@
+// Package tasq is a from-scratch Go reproduction of TASQ — "Towards
+// Optimal Resource Allocation for Big Data Analytics" (Pimpley et al.,
+// EDBT 2022): an end-to-end machine-learning pipeline that predicts, at
+// compile time, a big-data job's performance characteristic curve (PCC) —
+// run time as a function of allocated resource tokens — and uses it to
+// choose an optimal, sub-peak token allocation.
+//
+// The package is a façade over the implementation packages:
+//
+//   - workload synthesis and a SCOPE-like cluster executor stand in for
+//     Microsoft's proprietary Cosmos traces (see DESIGN.md),
+//   - AREPAS, the area-preserving skyline simulator, augments sparse
+//     training telemetry (Algorithm 1 of the paper),
+//   - three predictors — XGBoost-style gradient-boosted trees and
+//     feed-forward/graph neural networks with constrained losses — learn
+//     the two-parameter power-law PCC,
+//   - a flighting harness and stratified job selection validate the
+//     simulator and the models, and
+//   - an HTTP scoring service integrates the trained models with job
+//     submission (Figure 4 of the paper).
+//
+// Quick start:
+//
+//	gen := tasq.NewWorkloadGenerator(tasq.DefaultWorkloadConfig(1))
+//	repo := tasq.NewRepository()
+//	_ = repo.Ingest(gen.Workload(500), tasq.NewExecutor())
+//	pipe, _ := tasq.TrainPipeline(repo.All(), tasq.DefaultTrainConfig(1))
+//	curve, model, _ := pipe.ScoreJob(job)         // predicted PCC
+//	opt := curve.OptimalTokens(1, 500, 0.01)      // §2.1 optimal allocation
+//
+// See the examples directory for runnable programs and cmd/experiments for
+// the harness that regenerates every table and figure of the paper.
+package tasq

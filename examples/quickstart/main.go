@@ -1,0 +1,57 @@
+// Quickstart: generate a synthetic SCOPE-like workload, train the TASQ
+// pipeline, and predict the performance characteristic curve (PCC) and
+// optimal token allocation for a job the models have never seen.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tasq"
+)
+
+func main() {
+	// 1. Synthesize a workload and record its production telemetry. In a
+	// real deployment this is the historical job repository.
+	gen := tasq.NewWorkloadGenerator(tasq.SmallWorkloadConfig(42))
+	repo := tasq.NewRepository()
+	ex := tasq.NewExecutor()
+	if err := repo.Ingest(gen.Workload(300), ex); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ingested %d historical jobs\n", repo.Len())
+
+	// 2. Train the model pipeline: AREPAS augmentation, XGBoost, and the
+	// constrained NN (we skip the slower GNN in this quickstart).
+	cfg := tasq.DefaultTrainConfig(42)
+	cfg.SkipGNN = true
+	pipe, err := tasq.TrainPipeline(repo.All(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained NN with %d parameters\n", pipe.NN.NumParams())
+
+	// 3. Score a brand-new job at compile time: no execution needed.
+	job := gen.Job()
+	curve, model, err := pipe.ScoreJob(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\njob %s scored by %s\npredicted PCC: %s\n", job.ID, model, curve)
+
+	// 4. Trend prediction: the what-if table users see.
+	fmt.Println("\ntokens -> predicted run time")
+	for _, f := range []float64{0.25, 0.5, 0.75, 1.0} {
+		tok := int(f * float64(job.RequestedTokens))
+		if tok < 1 {
+			tok = 1
+		}
+		fmt.Printf("  %4d -> %7.1fs\n", tok, curve.Runtime(float64(tok)))
+	}
+
+	// 5. The §2.1 rule: smallest allocation whose marginal gain per extra
+	// token drops below 1%.
+	opt := curve.OptimalTokens(1, job.RequestedTokens, 0.01)
+	fmt.Printf("\nrequested %d tokens; TASQ recommends %d (%.0f%% reduction)\n",
+		job.RequestedTokens, opt, (1-float64(opt)/float64(job.RequestedTokens))*100)
+}

@@ -1,0 +1,77 @@
+// Serving demonstrates the Figure 4 system integration end to end inside
+// one process: train a pipeline, deploy it as the HTTP scoring service,
+// and score an incoming job through the client — the same path a SCOPE
+// client submission system would take.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"tasq"
+)
+
+func main() {
+	// Train the model (the offline half of Figure 4).
+	gen := tasq.NewWorkloadGenerator(tasq.SmallWorkloadConfig(31))
+	repo := tasq.NewRepository()
+	if err := repo.Ingest(gen.Workload(250), tasq.NewExecutor()); err != nil {
+		log.Fatal(err)
+	}
+	cfg := tasq.DefaultTrainConfig(31)
+	cfg.SkipGNN = true
+	pipe, err := tasq.TrainPipeline(repo.All(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Deploy the scoring endpoint (the online half).
+	srv, err := tasq.NewScoringServer(pipe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := httpSrv.Serve(ln); err != http.ErrServerClosed {
+			log.Print(err)
+		}
+	}()
+	defer httpSrv.Close()
+	baseURL := "http://" + ln.Addr().String()
+	fmt.Printf("scoring service deployed at %s\n", baseURL)
+
+	// The client submission system scores an incoming job.
+	client := tasq.NewScoringClient(baseURL)
+	if err := client.Health(); err != nil {
+		log.Fatal(err)
+	}
+	// Score an incoming job with a realistically sized request.
+	job := gen.Job()
+	for job.RequestedTokens < 50 {
+		job = gen.Job()
+	}
+	resp, err := client.Score(&tasq.ScoreRequest{
+		Job:             job,
+		CandidateTokens: []int{25, 50, 100, job.RequestedTokens},
+		Threshold:       0.01,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\njob %s scored by %s\n", job.ID, resp.Model)
+	fmt.Printf("PCC: runtime = %.4g * tokens^%.4g\n", resp.Curve.B, resp.Curve.A)
+	fmt.Println("\ncandidate allocations:")
+	for _, p := range resp.Predictions {
+		fmt.Printf("  %4d tokens -> %7.1fs\n", p.Tokens, p.RuntimeSeconds)
+	}
+	fmt.Printf("\nscheduler receives optimal allocation: %d tokens (user requested %d)\n",
+		resp.OptimalTokens, job.RequestedTokens)
+}

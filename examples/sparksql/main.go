@@ -1,0 +1,64 @@
+// Sparksql demonstrates §2.3 of the paper — applying the TASQ methodology
+// to another platform. The general machinery (PCC concept, simulation for
+// data augmentation, compile-time features, regression) is reused, while
+// the platform-specific pieces change: Spark SQL allocates *executors*
+// (multi-core containers) rather than tokens, and the curve family is the
+// scaled Amdahl form R(E) = S + P/E rather than a power law, as in the
+// companion AutoExecutor work the paper cites.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tasq"
+)
+
+func main() {
+	// Historical telemetry, exactly as the SCOPE pipeline records it.
+	gen := tasq.NewWorkloadGenerator(tasq.SmallWorkloadConfig(17))
+	repo := tasq.NewRepository()
+	if err := repo.Ingest(gen.Workload(250), tasq.NewExecutor()); err != nil {
+		log.Fatal(err)
+	}
+
+	// A Spark deployment: 4 task slots per executor, 8s fleet startup.
+	platform := tasq.SparkPlatform{CoresPerExecutor: 4, StartupSeconds: 8}
+	model, err := tasq.TrainSparkModel(repo.All(), platform)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Score an incoming query: executor-count what-if table plus the
+	// fitted Amdahl curve.
+	query := gen.Job()
+	for query.PeakParallelism() < 16 {
+		query = gen.Job()
+	}
+	curve, err := model.PredictCurve(query, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Spark SQL query %s\nfitted curve: %s\n\n", query.ID, curve)
+	fmt.Println("executors  predicted runtime")
+	for e := 1; e <= 64; e *= 2 {
+		fmt.Printf("%9d  %10.1fs\n", e, model.PredictRuntime(query, e))
+	}
+
+	opt := curve.OptimalExecutors(1, 64, 0.01)
+	fmt.Printf("\noptimal executor count (≥1%% gain per executor): %d\n", opt)
+
+	// Close the loop against ground truth.
+	ex := tasq.NewExecutor()
+	base, err := platform.Run(ex, query, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, err := platform.Run(ex, query, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ground truth: %ds at 64 executors, %ds at the recommended %d\n", base, got, opt)
+	fmt.Printf("executor savings %.0f%% for %+.1f%% runtime\n",
+		(1-float64(opt)/64)*100, (float64(got)/float64(base)-1)*100)
+}

@@ -1,0 +1,82 @@
+// Whatif reproduces TASQ's user-facing what-if analysis (§2.2): for a job
+// about to be submitted, display the predicted PCC, a run-time table over
+// candidate allocations, the elbow of the curve, and the optimal token
+// counts under several service-level objectives — then check the
+// recommendation against the ground-truth executor.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tasq"
+)
+
+func main() {
+	gen := tasq.NewWorkloadGenerator(tasq.SmallWorkloadConfig(11))
+	repo := tasq.NewRepository()
+	ex := tasq.NewExecutor()
+	if err := repo.Ingest(gen.Workload(350), ex); err != nil {
+		log.Fatal(err)
+	}
+	cfg := tasq.DefaultTrainConfig(11)
+	cfg.SkipGNN = true
+	pipe, err := tasq.TrainPipeline(repo.All(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A fresh ad-hoc job: the case fine-grained per-template models
+	// cannot cover (§4.2) but TASQ's global model can. Pick one whose
+	// request is in the same ballpark as its actual parallelism, so the
+	// whole token range is performance-relevant.
+	job := gen.Job()
+	for job.RequestedTokens < 40 || job.RequestedTokens > 3*job.PeakParallelism() {
+		job = gen.Job()
+	}
+	curve, model, err := pipe.ScoreJob(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("what-if analysis for job %s (model %s)\n", job.ID, model)
+	fmt.Printf("predicted PCC: %s\n\n", curve)
+
+	request := job.RequestedTokens
+	fmt.Println("tokens  predicted runtime   vs request")
+	for _, f := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		tok := int(f * float64(request))
+		if tok < 1 {
+			tok = 1
+		}
+		rt := curve.Runtime(float64(tok))
+		base := curve.Runtime(float64(request))
+		fmt.Printf("%6d  %12.1fs      %+6.1f%%\n", tok, rt, (rt/base-1)*100)
+	}
+
+	fmt.Printf("\nelbow of the curve: %d tokens\n", curve.Elbow(1, request))
+	fmt.Println("optimal allocation under marginal-gain thresholds (§2.1):")
+	for _, th := range []float64{0.05, 0.01, 0.002} {
+		fmt.Printf("  threshold %.1f%%/token -> %d tokens\n", th*100, curve.OptimalTokens(1, request, th))
+	}
+	fmt.Println("smallest allocation within a bounded slowdown SLO (§1):")
+	for _, slo := range []float64{0.05, 0.10, 0.25} {
+		fmt.Printf("  ≤%2.0f%% slower -> %d tokens\n", slo*100, curve.TokensForSlowdown(request, slo))
+	}
+
+	// Close the loop: run the job for real at the 10%-SLO recommendation
+	// and compare with the default request.
+	opt := curve.TokensForSlowdown(request, 0.10)
+	def, err := ex.Run(job, request)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, err := ex.Run(job, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nground truth: %ds at the %d-token request, %ds at the %d-token recommendation\n",
+		def.RuntimeSeconds, request, got.RuntimeSeconds, opt)
+	fmt.Printf("tokens saved: %.0f%%, actual slowdown: %+.1f%%\n",
+		(1-float64(opt)/float64(request))*100,
+		(float64(got.RuntimeSeconds)/float64(def.RuntimeSeconds)-1)*100)
+}

@@ -1,0 +1,3 @@
+module tasq
+
+go 1.22

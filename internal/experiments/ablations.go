@@ -1,0 +1,337 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"tasq/internal/arepas"
+	"tasq/internal/features"
+	"tasq/internal/jobrepo"
+	"tasq/internal/jockey"
+	"tasq/internal/ml/gbt"
+	"tasq/internal/ml/linalg"
+	"tasq/internal/stats"
+	"tasq/internal/trainer"
+)
+
+// The experiments in this file go beyond the paper's tables: the baseline
+// simulator comparison it argues qualitatively in §6.3, and ablations of
+// the design choices DESIGN.md calls out (Gamma objective, AREPAS target
+// grid density, LF2 loss weighting).
+
+// -------------------------------------------- §6.3 simulator comparison
+
+// SimulatorRow is one simulator's accuracy against flighted ground truth.
+type SimulatorRow struct {
+	Simulator          string
+	MedianAPE, MeanAPE float64
+}
+
+// SimulatorComparisonResult compares AREPAS with the stage-level Jockey
+// and Amdahl's-law simulators of §6.3 on the flighted dataset. The
+// stage-level simulators consume statistics from a *prior run of the same
+// template* (a day-1 instance, whose input size differs), exactly the
+// staleness §6.3 criticizes; ad-hoc jobs have no prior run, so their
+// coverage is partial, while AREPAS covers every job from its own
+// reference flight.
+type SimulatorComparisonResult struct {
+	Rows []SimulatorRow
+	// Comparisons is the evaluation-pair count on the covered subset
+	// shared by all three simulators.
+	Comparisons int
+	// CoveredJobs/TotalJobs expose the recurring-only coverage limit of
+	// the stage-level simulators.
+	CoveredJobs, TotalJobs int
+}
+
+// SimulatorComparison evaluates all three simulators on flighted runs of
+// jobs whose template also ran on the training day.
+func SimulatorComparison(s *Suite) (*SimulatorComparisonResult, error) {
+	if s.Flights == nil {
+		return nil, errors.New("experiments: suite has no flighted dataset")
+	}
+	// Latest day-1 instance per template: Jockey's "statistics aggregated
+	// over all historic runs of that job".
+	prior := make(map[string]*jobrepo.Record)
+	for _, rec := range s.Train {
+		if rec.Job.Template != "" {
+			prior[rec.Job.Template] = rec
+		}
+	}
+	var arepasPred, jockeyPred, amdahlPred, truth []float64
+	covered := 0
+	for _, jf := range s.Flights.Jobs {
+		prev, ok := prior[jf.Record.Job.Template]
+		if jf.Record.Job.Template == "" || !ok {
+			continue // fresh job: the stage-level simulators cannot predict
+		}
+		covered++
+		ref := jf.Reference()
+		for _, run := range jf.Runs[1:] {
+			if run.RuntimeSeconds <= 0 {
+				continue
+			}
+			a, err := arepas.SimulateRuntime(ref.Skyline, run.Tokens)
+			if err != nil {
+				return nil, err
+			}
+			j, err := jockey.SimulateJockey(prev.Job, run.Tokens)
+			if err != nil {
+				return nil, err
+			}
+			m, err := jockey.SimulateAmdahl(prev.Job, run.Tokens)
+			if err != nil {
+				return nil, err
+			}
+			arepasPred = append(arepasPred, float64(a))
+			jockeyPred = append(jockeyPred, float64(j))
+			amdahlPred = append(amdahlPred, float64(m))
+			truth = append(truth, float64(run.RuntimeSeconds))
+		}
+	}
+	if len(truth) == 0 {
+		return nil, errors.New("experiments: no recurring flighted jobs to compare on")
+	}
+	mk := func(name string, pred []float64) SimulatorRow {
+		return SimulatorRow{
+			Simulator: name,
+			MedianAPE: stats.MedianAPE(pred, truth),
+			MeanAPE:   stats.MeanAPE(pred, truth),
+		}
+	}
+	return &SimulatorComparisonResult{
+		Rows: []SimulatorRow{
+			mk("AREPAS (own skyline)", arepasPred),
+			mk("Jockey (prior-run stages)", jockeyPred),
+			mk("Amdahl (prior-run S+P/N)", amdahlPred),
+		},
+		Comparisons: len(truth),
+		CoveredJobs: covered,
+		TotalJobs:   len(s.Flights.Jobs),
+	}, nil
+}
+
+// Render prints the comparison with the coverage caveat.
+func (r *SimulatorComparisonResult) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Simulator, pct1(row.MedianAPE), pct1(row.MeanAPE)})
+	}
+	return textTable(
+		fmt.Sprintf("Extension (§6.3) — simulator comparison on %d runs of %d recurring jobs (stage-level simulators cover %d of %d flighted jobs; AREPAS covers all):",
+			r.Comparisons, r.CoveredJobs, r.CoveredJobs, r.TotalJobs),
+		[]string{"Simulator", "MedianAPE", "MeanAPE"}, rows)
+}
+
+// ------------------------------------------------ XGBoost objective ablation
+
+// ObjectiveAblationResult compares the Gamma-deviance objective the paper
+// uses with plain squared error on the historical test day.
+type ObjectiveAblationResult struct {
+	GammaMedianAPE, SquaredMedianAPE float64
+	Jobs                             int
+}
+
+// AblationXGBObjective retrains the boosted model with each objective and
+// compares reference-point run-time error.
+func AblationXGBObjective(s *Suite) (*ObjectiveAblationResult, error) {
+	if len(s.Test) == 0 {
+		return nil, errors.New("experiments: empty test set")
+	}
+	evalWith := func(obj gbt.Objective) (float64, error) {
+		cfg := s.Config.Trainer
+		cfg.SkipNN = true
+		cfg.SkipGNN = true
+		cfg.XGB.Objective = obj
+		p, err := trainer.Train(s.Train, cfg)
+		if err != nil {
+			return 0, err
+		}
+		var preds, truth []float64
+		for _, rec := range s.Test {
+			preds = append(preds, p.XGB.PredictRuntime(rec.Job, rec.ObservedTokens))
+			truth = append(truth, float64(rec.RuntimeSeconds))
+		}
+		return stats.MedianAPE(preds, truth), nil
+	}
+	// Note: trainer.Train forces the Gamma objective for the pipeline's
+	// baseline role, so the squared variant trains the gbt model directly.
+	gamma, err := evalWith(gbt.Gamma)
+	if err != nil {
+		return nil, err
+	}
+	squared, err := evalSquaredXGB(s)
+	if err != nil {
+		return nil, err
+	}
+	return &ObjectiveAblationResult{GammaMedianAPE: gamma, SquaredMedianAPE: squared, Jobs: len(s.Test)}, nil
+}
+
+// evalSquaredXGB trains a squared-loss ensemble on the same augmented rows.
+func evalSquaredXGB(s *Suite) (float64, error) {
+	scaler := s.Pipeline.JobScaler
+	var rows [][]float64
+	var y []float64
+	for _, rec := range s.Train {
+		feat := scaler.TransformRow(jobFeaturesOf(rec))
+		pts, err := arepas.AugmentForXGBoost(rec.Skyline, rec.ObservedTokens)
+		if err != nil {
+			return 0, err
+		}
+		for _, p := range pts {
+			if p.Runtime < 1 {
+				continue
+			}
+			rows = append(rows, append(append([]float64(nil), feat...), logTok(p.Tokens)))
+			y = append(y, float64(p.Runtime))
+		}
+	}
+	cfg := s.Config.Trainer.XGB
+	cfg.Objective = gbt.Squared
+	m, err := gbt.Train(matrixOf(rows), y, cfg)
+	if err != nil {
+		return 0, err
+	}
+	var preds, truth []float64
+	for _, rec := range s.Test {
+		feat := scaler.TransformRow(jobFeaturesOf(rec))
+		preds = append(preds, m.Predict(append(append([]float64(nil), feat...), logTok(rec.ObservedTokens))))
+		truth = append(truth, float64(rec.RuntimeSeconds))
+	}
+	return stats.MedianAPE(preds, truth), nil
+}
+
+// Render prints the objective ablation.
+func (r *ObjectiveAblationResult) Render() string {
+	rows := [][]string{
+		{"Gamma (log link)", pct1(r.GammaMedianAPE)},
+		{"Squared error", pct1(r.SquaredMedianAPE)},
+	}
+	return textTable(
+		fmt.Sprintf("Ablation — XGBoost objective, reference-point error over %d jobs:", r.Jobs),
+		[]string{"Objective", "Median AE (Run Time)"}, rows)
+}
+
+// ------------------------------------------------ target grid ablation
+
+// TargetGridAblationResult quantifies the value of the dense AREPAS sweep
+// used to fit PCC targets: power laws fitted on a sparse near-reference
+// grid extrapolate much worse to aggressive (20%) allocations.
+type TargetGridAblationResult struct {
+	DenseMedianAPE, SparseMedianAPE float64
+	Jobs                            int
+}
+
+// AblationTargetGrid fits targets on the full grid and on a sparse
+// {60%, 80%, 100%} grid, then scores both at 20% of the reference against
+// AREPAS's simulated truth.
+func AblationTargetGrid(s *Suite) (*TargetGridAblationResult, error) {
+	sparse := []float64{0.6, 0.8, 1.0}
+	var densePreds, sparsePreds, truth []float64
+	jobs := 0
+	for _, rec := range s.Test {
+		aggressive := rec.ObservedTokens / 5
+		if aggressive < 1 {
+			aggressive = 1
+		}
+		actual, err := arepas.SimulateRuntime(rec.Skyline, aggressive)
+		if err != nil {
+			return nil, err
+		}
+		if actual <= 0 {
+			continue
+		}
+		dense, err := trainer.BuildTarget(rec, arepas.GridFractions)
+		if err != nil {
+			return nil, err
+		}
+		sparseT, err := trainer.BuildTarget(rec, sparse)
+		if err != nil {
+			return nil, err
+		}
+		densePreds = append(densePreds, dense.Curve().Runtime(float64(aggressive)))
+		sparsePreds = append(sparsePreds, sparseT.Curve().Runtime(float64(aggressive)))
+		truth = append(truth, float64(actual))
+		jobs++
+	}
+	if jobs == 0 {
+		return nil, errors.New("experiments: no jobs for grid ablation")
+	}
+	return &TargetGridAblationResult{
+		DenseMedianAPE:  stats.MedianAPE(densePreds, truth),
+		SparseMedianAPE: stats.MedianAPE(sparsePreds, truth),
+		Jobs:            jobs,
+	}, nil
+}
+
+// Render prints the grid ablation.
+func (r *TargetGridAblationResult) Render() string {
+	rows := [][]string{
+		{fmt.Sprintf("Dense (%d fractions)", len(arepas.GridFractions)), pct1(r.DenseMedianAPE)},
+		{"Sparse (60/80/100%)", pct1(r.SparseMedianAPE)},
+	}
+	return textTable(
+		fmt.Sprintf("Ablation — AREPAS target grid, curve error at 20%% allocation over %d jobs:", r.Jobs),
+		[]string{"Target grid", "Median AE vs AREPAS truth"}, rows)
+}
+
+// ------------------------------------------------ loss weight ablation
+
+// LossWeightAblationResult sweeps LF2's run-time penalization weight.
+type LossWeightAblationResult struct {
+	Weights   []float64
+	MedianAEs []float64
+	ParamMAEs []float64
+}
+
+// AblationLossWeight retrains the NN at several LF2 run-time weights and
+// reports both metrics, exposing the trade-off §4.5 describes ("balanced
+// by tuned weights").
+func AblationLossWeight(s *Suite) (*LossWeightAblationResult, error) {
+	res := &LossWeightAblationResult{Weights: []float64{0.1, 0.5, 1.5}}
+	for _, w := range res.Weights {
+		cfg := s.Config.Trainer
+		cfg.SkipGNN = true
+		cfg.NN.Loss = trainer.LF2
+		cfg.NN.RuntimeWeight = w
+		p, err := trainer.Train(s.Train, cfg)
+		if err != nil {
+			return nil, err
+		}
+		evals, err := p.EvaluateHistorical(s.Test)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range evals {
+			if e.Model == trainer.ModelNN {
+				res.MedianAEs = append(res.MedianAEs, e.RuntimeMedianAE)
+				res.ParamMAEs = append(res.ParamMAEs, e.ParamMAE)
+			}
+		}
+	}
+	if len(res.MedianAEs) != len(res.Weights) {
+		return nil, errors.New("experiments: loss-weight ablation incomplete")
+	}
+	return res, nil
+}
+
+// Render prints the weight sweep.
+func (r *LossWeightAblationResult) Render() string {
+	rows := make([][]string, 0, len(r.Weights))
+	for i, w := range r.Weights {
+		rows = append(rows, []string{fmt.Sprintf("%.1f", w), num(r.ParamMAEs[i]), pct(r.MedianAEs[i])})
+	}
+	return textTable("Ablation — LF2 run-time weight (NN):",
+		[]string{"Runtime weight", "MAE (Curve Params)", "Median AE (Run Time)"}, rows)
+}
+
+// helpers shared by the ablations
+
+func jobFeaturesOf(rec *jobrepo.Record) []float64 {
+	return features.JobVector(rec.Job)
+}
+
+func logTok(tokens int) float64 { return math.Log1p(float64(tokens)) }
+
+func matrixOf(rows [][]float64) *linalg.Matrix { return linalg.FromRows(rows) }

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// textTable renders rows with aligned columns, the plain-text analog of
+// the paper's tables.
+func textTable(title string, header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// pct formats a fraction as a percentage.
+func pct(f float64) string {
+	if math.IsNaN(f) {
+		return "NA"
+	}
+	return fmt.Sprintf("%.0f%%", f*100)
+}
+
+// pct1 formats a fraction as a percentage with one decimal.
+func pct1(f float64) string {
+	if math.IsNaN(f) {
+		return "NA"
+	}
+	return fmt.Sprintf("%.1f%%", f*100)
+}
+
+// num formats a float compactly.
+func num(f float64) string {
+	if math.IsNaN(f) {
+		return "NA"
+	}
+	return fmt.Sprintf("%.3f", f)
+}
+
+// bar renders a proportion as a text bar of up to width characters.
+func bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(math.Round(frac * float64(width)))
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+// sparkline renders a numeric series as a compact unicode strip, used for
+// skyline visualizations in figure outputs.
+func sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(levels)-1))
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Renderer is any experiment result that can print itself.
+type Renderer interface {
+	Render() string
+}
+
+// ReportEntry pairs an experiment ID with its rendered result.
+type ReportEntry struct {
+	ID     string
+	Result Renderer
+	Err    error
+}
+
+// RunAll executes every experiment against the suite and returns the
+// entries in paper order. Individual failures are recorded, not fatal, so
+// one degenerate sample cannot sink the whole report.
+func RunAll(s *Suite) []ReportEntry {
+	run := func(id string, f func() (Renderer, error)) ReportEntry {
+		res, err := f()
+		return ReportEntry{ID: id, Result: res, Err: err}
+	}
+	return []ReportEntry{
+		run("Figure 1", func() (Renderer, error) { return Figure1(s) }),
+		run("Figure 2", func() (Renderer, error) { return Figure2(s) }),
+		run("Figure 3", func() (Renderer, error) { return Figure3(s) }),
+		run("Figure 5", func() (Renderer, error) { return Figure5(s) }),
+		run("Figures 6/7", func() (Renderer, error) { return Figure6And7() }),
+		run("Figure 8", func() (Renderer, error) { return Figure8(s) }),
+		run("Figure 9", func() (Renderer, error) { return Figure9(s) }),
+		run("Figure 11", func() (Renderer, error) { return Figure11(s) }),
+		run("Figure 12", func() (Renderer, error) { return Figure12(s) }),
+		run("Figure 13", func() (Renderer, error) { return Figure13(s) }),
+		run("§5.1 monotonicity", func() (Renderer, error) { return MonotonicityValidation(s) }),
+		run("Table 3", func() (Renderer, error) { return Table3(s) }),
+		run("Table 4", func() (Renderer, error) { return Table4(s) }),
+		run("Table 5", func() (Renderer, error) { return Table5(s) }),
+		run("Table 6", func() (Renderer, error) { return Table6(s) }),
+		run("Table 7", func() (Renderer, error) { return Table7(s) }),
+		run("Table 8", func() (Renderer, error) { return Table8(s) }),
+		run("Extension: simulator comparison", func() (Renderer, error) { return SimulatorComparison(s) }),
+		run("Extension: AutoToken baseline", func() (Renderer, error) { return AutoTokenComparison(s) }),
+		run("Ablation: XGBoost objective", func() (Renderer, error) { return AblationXGBObjective(s) }),
+		run("Ablation: target grid", func() (Renderer, error) { return AblationTargetGrid(s) }),
+		run("Ablation: LF2 weight", func() (Renderer, error) { return AblationLossWeight(s) }),
+		run("Extension: input drift", func() (Renderer, error) { return AblationInputDrift(s) }),
+	}
+}
+
+// RenderReport concatenates all entries into one text report.
+func RenderReport(entries []ReportEntry) string {
+	var b strings.Builder
+	for _, e := range entries {
+		if e.Err != nil {
+			fmt.Fprintf(&b, "%s: ERROR: %v\n\n", e.ID, e.Err)
+			continue
+		}
+		b.WriteString(e.Result.Render())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

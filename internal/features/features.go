@@ -1,0 +1,224 @@
+// Package features implements TASQ's featurization (§4.3, Tables 1–2).
+// Three representations are produced from a job's compile-time metadata:
+//
+//   - an operator-level feature matrix (N x OperatorDim) for the GNN,
+//   - an aggregated job-level vector (JobDim) for XGBoost and the NN
+//     (continuous/count features aggregated by mean, categorical features
+//     by frequency count, plus operator and stage counts), and
+//   - the operator DAG's adjacency matrix, normalized for graph
+//     convolutions.
+//
+// Heavy-tailed continuous quantities (cardinalities, costs) enter as
+// log1p; a Scaler fitted on training data standardizes columns so neither
+// models nor losses are dominated by large-magnitude features. Only
+// estimated (Est) metrics are used — true values are execution-time
+// knowledge the models must never see.
+package features
+
+import (
+	"math"
+
+	"tasq/internal/ml/linalg"
+	"tasq/internal/scopesim"
+	"tasq/internal/stats"
+)
+
+// Dimensions of the feature representations.
+const (
+	numContinuous = 7 // Table 1 continuous features
+	numDiscrete   = 3 // Table 1 discrete features
+
+	// OperatorDim is the per-operator feature dimension: continuous +
+	// discrete + one-hot operator kind + one-hot partitioning method.
+	OperatorDim = numContinuous + numDiscrete + scopesim.NumOpKinds + scopesim.NumPartitionMethods
+
+	// JobDim is the aggregated job-level dimension: mean continuous +
+	// mean discrete + categorical frequency counts + NumOperators +
+	// NumStages.
+	JobDim = numContinuous + numDiscrete + scopesim.NumOpKinds + scopesim.NumPartitionMethods + 2
+)
+
+// OperatorFeatureNames returns human-readable names for the operator-level
+// feature columns, index-aligned with OperatorRow.
+func OperatorFeatureNames() []string {
+	names := []string{
+		"log_output_cardinality",
+		"log_leaf_input_cardinality",
+		"log_children_input_cardinality",
+		"log_avg_row_length",
+		"log_subtree_cost",
+		"log_exclusive_cost",
+		"log_total_cost",
+		"log_num_partitions",
+		"num_partitioning_columns",
+		"num_sort_columns",
+	}
+	for k := 0; k < scopesim.NumOpKinds; k++ {
+		names = append(names, "op_"+scopesim.OpKind(k).String())
+	}
+	for p := 0; p < scopesim.NumPartitionMethods; p++ {
+		names = append(names, "part_"+scopesim.PartitionMethod(p).String())
+	}
+	return names
+}
+
+// OperatorRow featurizes a single operator into a vector of OperatorDim.
+func OperatorRow(op *scopesim.Operator) []float64 {
+	row := make([]float64, OperatorDim)
+	e := op.Est
+	row[0] = math.Log1p(nonNeg(e.OutputCardinality))
+	row[1] = math.Log1p(nonNeg(e.LeafInputCardinality))
+	row[2] = math.Log1p(nonNeg(e.ChildrenInputCardinality))
+	row[3] = math.Log1p(nonNeg(e.AvgRowLength))
+	row[4] = math.Log1p(nonNeg(e.SubtreeCost))
+	row[5] = math.Log1p(nonNeg(e.ExclusiveCost))
+	row[6] = math.Log1p(nonNeg(e.TotalCost))
+	row[7] = math.Log1p(float64(max0(e.NumPartitions)))
+	row[8] = float64(max0(e.NumPartitioningColumns))
+	row[9] = float64(max0(e.NumSortColumns))
+	base := numContinuous + numDiscrete
+	if op.Kind.Valid() {
+		row[base+int(op.Kind)] = 1
+	}
+	if op.Partitioning.Valid() {
+		row[base+scopesim.NumOpKinds+int(op.Partitioning)] = 1
+	}
+	return row
+}
+
+// OperatorMatrix featurizes every operator of the job into an N x
+// OperatorDim matrix, row i for operator i — the GNN's node features.
+func OperatorMatrix(job *scopesim.Job) *linalg.Matrix {
+	m := linalg.New(len(job.Operators), OperatorDim)
+	for i := range job.Operators {
+		copy(m.Row(i), OperatorRow(&job.Operators[i]))
+	}
+	return m
+}
+
+// JobVector aggregates operator features to the job level (Table 2):
+// continuous and count variables by mean, categorical variables by
+// frequency count, plus the operator and stage counts.
+func JobVector(job *scopesim.Job) []float64 {
+	out := make([]float64, JobDim)
+	n := len(job.Operators)
+	if n == 0 {
+		return out
+	}
+	for i := range job.Operators {
+		row := OperatorRow(&job.Operators[i])
+		for c := 0; c < numContinuous+numDiscrete; c++ {
+			out[c] += row[c]
+		}
+		// Categorical: frequency counts, not means.
+		for c := numContinuous + numDiscrete; c < OperatorDim; c++ {
+			out[c] += row[c]
+		}
+	}
+	for c := 0; c < numContinuous+numDiscrete; c++ {
+		out[c] /= float64(n)
+	}
+	out[JobDim-2] = float64(job.NumOperators())
+	out[JobDim-1] = float64(job.NumStages())
+	return out
+}
+
+// JobMatrix featurizes a batch of jobs into an n x JobDim design matrix.
+func JobMatrix(jobs []*scopesim.Job) *linalg.Matrix {
+	m := linalg.New(len(jobs), JobDim)
+	for i, j := range jobs {
+		copy(m.Row(i), JobVector(j))
+	}
+	return m
+}
+
+// NormalizedAdjacency returns the GCN propagation matrix
+// Â = D^{-1/2} (A + Aᵀ + I) D^{-1/2} built from the operator DAG: edges are
+// symmetrized (information flows both ways during convolution) and
+// self-loops added, following Kipf & Welling's renormalization trick.
+func NormalizedAdjacency(job *scopesim.Job) *linalg.Matrix {
+	n := len(job.Operators)
+	a := linalg.New(n, n)
+	for i := range job.Operators {
+		a.Set(i, i, 1)
+		for _, c := range job.Operators[i].Children {
+			if c >= 0 && c < n {
+				a.Set(i, c, 1)
+				a.Set(c, i, 1)
+			}
+		}
+	}
+	deg := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			deg[i] += a.At(i, j)
+		}
+	}
+	for i := 0; i < n; i++ {
+		di := 1 / math.Sqrt(deg[i]) // deg ≥ 1 thanks to self-loops
+		for j := 0; j < n; j++ {
+			if v := a.At(i, j); v != 0 {
+				a.Set(i, j, v*di/math.Sqrt(deg[j]))
+			}
+		}
+	}
+	return a
+}
+
+// Scaler standardizes feature columns using statistics fitted on training
+// data. One-hot/frequency columns are standardized too — harmless for
+// trees and helpful for gradient-based models.
+type Scaler struct {
+	Cols []stats.Standardizer
+}
+
+// FitScaler computes per-column statistics over a design matrix.
+func FitScaler(m *linalg.Matrix) *Scaler {
+	s := &Scaler{Cols: make([]stats.Standardizer, m.Cols)}
+	for c := 0; c < m.Cols; c++ {
+		s.Cols[c] = stats.FitStandardizer(m.Col(c))
+	}
+	return s
+}
+
+// Transform returns a standardized copy of m, which must have the fitted
+// column count.
+func (s *Scaler) Transform(m *linalg.Matrix) *linalg.Matrix {
+	if m.Cols != len(s.Cols) {
+		panic("features: scaler dimension mismatch")
+	}
+	out := m.Clone()
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for c := range row {
+			row[c] = s.Cols[c].Transform(row[c])
+		}
+	}
+	return out
+}
+
+// TransformRow standardizes a single feature vector in place-free fashion.
+func (s *Scaler) TransformRow(row []float64) []float64 {
+	if len(row) != len(s.Cols) {
+		panic("features: scaler dimension mismatch")
+	}
+	out := make([]float64, len(row))
+	for c, v := range row {
+		out[c] = s.Cols[c].Transform(v)
+	}
+	return out
+}
+
+func nonNeg(v float64) float64 {
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
+func max0(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

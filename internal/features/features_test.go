@@ -1,0 +1,250 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"tasq/internal/ml/linalg"
+	"tasq/internal/scopesim"
+	"tasq/internal/workload"
+)
+
+func sampleJob(t *testing.T) *scopesim.Job {
+	t.Helper()
+	g := workload.New(workload.TestConfig(1))
+	j := g.Job()
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestOperatorFeatureNamesAlignWithDim(t *testing.T) {
+	names := OperatorFeatureNames()
+	if len(names) != OperatorDim {
+		t.Fatalf("%d names for OperatorDim %d", len(names), OperatorDim)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate feature name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestOperatorRowOneHots(t *testing.T) {
+	op := &scopesim.Operator{
+		Kind:         scopesim.OpHashJoin,
+		Partitioning: scopesim.PartitionRange,
+		Est: scopesim.OpMetrics{
+			OutputCardinality: math.E - 1, // log1p → exactly 1
+			NumPartitions:     10,
+		},
+	}
+	row := OperatorRow(op)
+	if len(row) != OperatorDim {
+		t.Fatalf("row length %d, want %d", len(row), OperatorDim)
+	}
+	if math.Abs(row[0]-1) > 1e-12 {
+		t.Fatalf("log1p(output card) = %v, want 1", row[0])
+	}
+	// Exactly one op-kind one-hot and one partition one-hot must be set.
+	base := 10
+	var kinds, parts int
+	for k := 0; k < scopesim.NumOpKinds; k++ {
+		if row[base+k] != 0 {
+			kinds++
+			if k != int(scopesim.OpHashJoin) {
+				t.Fatalf("wrong kind one-hot at %d", k)
+			}
+		}
+	}
+	for p := 0; p < scopesim.NumPartitionMethods; p++ {
+		if row[base+scopesim.NumOpKinds+p] != 0 {
+			parts++
+			if p != int(scopesim.PartitionRange) {
+				t.Fatalf("wrong partition one-hot at %d", p)
+			}
+		}
+	}
+	if kinds != 1 || parts != 1 {
+		t.Fatalf("one-hot counts kind=%d part=%d, want 1/1", kinds, parts)
+	}
+}
+
+func TestOperatorRowSanitizesBadInputs(t *testing.T) {
+	op := &scopesim.Operator{
+		Kind:         scopesim.OpFilter,
+		Partitioning: scopesim.PartitionHash,
+		Est: scopesim.OpMetrics{
+			OutputCardinality: -5,
+			AvgRowLength:      math.NaN(),
+			NumPartitions:     -3,
+		},
+	}
+	for i, v := range OperatorRow(op) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("feature %d not finite: %v", i, v)
+		}
+		if i < 10 && v < 0 {
+			t.Fatalf("feature %d negative: %v", i, v)
+		}
+	}
+}
+
+func TestOperatorMatrixShape(t *testing.T) {
+	j := sampleJob(t)
+	m := OperatorMatrix(j)
+	if m.Rows != j.NumOperators() || m.Cols != OperatorDim {
+		t.Fatalf("matrix %dx%d, want %dx%d", m.Rows, m.Cols, j.NumOperators(), OperatorDim)
+	}
+}
+
+func TestJobVectorAggregation(t *testing.T) {
+	j := sampleJob(t)
+	v := JobVector(j)
+	if len(v) != JobDim {
+		t.Fatalf("vector length %d, want %d", len(v), JobDim)
+	}
+	// Categorical frequency counts must sum to the operator count for
+	// each family (every operator has exactly one kind and one method).
+	base := 10
+	var kindSum, partSum float64
+	for k := 0; k < scopesim.NumOpKinds; k++ {
+		kindSum += v[base+k]
+	}
+	for p := 0; p < scopesim.NumPartitionMethods; p++ {
+		partSum += v[base+scopesim.NumOpKinds+p]
+	}
+	if int(kindSum) != j.NumOperators() || int(partSum) != j.NumOperators() {
+		t.Fatalf("frequency sums %v/%v, want %d", kindSum, partSum, j.NumOperators())
+	}
+	if v[JobDim-2] != float64(j.NumOperators()) || v[JobDim-1] != float64(j.NumStages()) {
+		t.Fatalf("op/stage counts wrong: %v %v", v[JobDim-2], v[JobDim-1])
+	}
+}
+
+func TestJobVectorEmptyJob(t *testing.T) {
+	v := JobVector(&scopesim.Job{})
+	for i, x := range v {
+		if x != 0 {
+			t.Fatalf("empty job feature %d = %v", i, x)
+		}
+	}
+}
+
+func TestJobVectorUsesEstimatesOnly(t *testing.T) {
+	j := sampleJob(t)
+	before := JobVector(j)
+	// Corrupt the true metrics; features must not change.
+	for i := range j.Operators {
+		j.Operators[i].True.OutputCardinality *= 1000
+		j.Operators[i].True.ExclusiveCost = 1e12
+	}
+	after := JobVector(j)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("features leaked true (execution-time) metrics")
+		}
+	}
+}
+
+func TestJobMatrix(t *testing.T) {
+	g := workload.New(workload.TestConfig(2))
+	jobs := g.Workload(5)
+	m := JobMatrix(jobs)
+	if m.Rows != 5 || m.Cols != JobDim {
+		t.Fatalf("job matrix %dx%d", m.Rows, m.Cols)
+	}
+	for i, j := range jobs {
+		want := JobVector(j)
+		for c, v := range m.Row(i) {
+			if v != want[c] {
+				t.Fatalf("row %d col %d mismatch", i, c)
+			}
+		}
+	}
+}
+
+func TestNormalizedAdjacency(t *testing.T) {
+	j := sampleJob(t)
+	a := NormalizedAdjacency(j)
+	n := j.NumOperators()
+	if a.Rows != n || a.Cols != n {
+		t.Fatalf("adjacency %dx%d, want %dx%d", a.Rows, a.Cols, n, n)
+	}
+	for i := 0; i < n; i++ {
+		if a.At(i, i) <= 0 {
+			t.Fatalf("missing self-loop at %d", i)
+		}
+		for k := 0; k < n; k++ {
+			if a.At(i, k) < 0 || a.At(i, k) > 1+1e-12 {
+				t.Fatalf("entry (%d,%d) = %v out of [0,1]", i, k, a.At(i, k))
+			}
+			if math.Abs(a.At(i, k)-a.At(k, i)) > 1e-12 {
+				t.Fatalf("adjacency not symmetric at (%d,%d)", i, k)
+			}
+		}
+	}
+	// The row sums of Â for a normalized graph are ≤ ~1 (exactly 1 for a
+	// regular graph); check eigen-boundedness loosely via max row sum.
+	for i := 0; i < n; i++ {
+		var s float64
+		for k := 0; k < n; k++ {
+			s += a.At(i, k)
+		}
+		if s > float64(n) {
+			t.Fatalf("row %d sum %v implausible", i, s)
+		}
+	}
+}
+
+func TestNormalizedAdjacencyIsolatedNode(t *testing.T) {
+	j := &scopesim.Job{
+		Stages: []scopesim.Stage{{ID: 0, Tasks: 1, TaskSeconds: 1, Operators: []int{0}}},
+		Operators: []scopesim.Operator{
+			{ID: 0, Kind: scopesim.OpExtract, Partitioning: scopesim.PartitionHash, Stage: 0},
+		},
+	}
+	a := NormalizedAdjacency(j)
+	if a.At(0, 0) != 1 {
+		t.Fatalf("isolated node self-loop = %v, want 1", a.At(0, 0))
+	}
+}
+
+func TestScalerRoundTripAndTransform(t *testing.T) {
+	g := workload.New(workload.TestConfig(4))
+	m := JobMatrix(g.Workload(50))
+	s := FitScaler(m)
+	z := s.Transform(m)
+	// Each standardized column has ~zero mean.
+	for c := 0; c < z.Cols; c++ {
+		col := z.Col(c)
+		var mean float64
+		for _, v := range col {
+			mean += v
+		}
+		mean /= float64(len(col))
+		if math.Abs(mean) > 1e-9 {
+			t.Fatalf("column %d mean %v after standardization", c, mean)
+		}
+	}
+	// TransformRow agrees with Transform.
+	row := s.TransformRow(m.Row(0))
+	for c, v := range row {
+		if math.Abs(v-z.At(0, c)) > 1e-12 {
+			t.Fatalf("TransformRow disagrees at col %d", c)
+		}
+	}
+}
+
+func TestScalerDimensionMismatchPanics(t *testing.T) {
+	s := &Scaler{}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Transform(linalg.New(1, 3))
+}

@@ -1,0 +1,269 @@
+package flight
+
+import (
+	"testing"
+
+	"tasq/internal/jobrepo"
+	"tasq/internal/scopesim"
+	"tasq/internal/skyline"
+	"tasq/internal/workload"
+)
+
+func selectedRecords(t *testing.T, n int, seed int64) []*jobrepo.Record {
+	t.Helper()
+	g := workload.New(workload.TestConfig(seed))
+	repo := jobrepo.New()
+	var ex scopesim.Executor
+	if err := repo.Ingest(g.Workload(n), &ex); err != nil {
+		t.Fatal(err)
+	}
+	return repo.All()
+}
+
+func TestExecuteErrors(t *testing.T) {
+	var ex scopesim.Executor
+	if _, err := Execute(nil, &ex, DefaultConfig(1)); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+	recs := selectedRecords(t, 3, 1)
+	bad := DefaultConfig(1)
+	bad.Fractions = []float64{1.0}
+	if _, err := Execute(recs, &ex, bad); err == nil {
+		t.Fatal("single fraction accepted")
+	}
+	bad = DefaultConfig(1)
+	bad.Redundancy = 0
+	if _, err := Execute(recs, &ex, bad); err == nil {
+		t.Fatal("zero redundancy accepted")
+	}
+}
+
+func TestExecuteProducesFilteredDataset(t *testing.T) {
+	recs := selectedRecords(t, 60, 2)
+	var ex scopesim.Executor
+	ds, err := Execute(recs, &ex, DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Jobs) == 0 {
+		t.Fatal("no jobs survived")
+	}
+	if ds.TotalRuns < 2*len(ds.Jobs) {
+		t.Fatalf("total runs %d too low for %d jobs", ds.TotalRuns, len(ds.Jobs))
+	}
+	for _, jf := range ds.Jobs {
+		if len(jf.Runs) < 2 {
+			t.Fatal("isolated flight survived filter 1")
+		}
+		// Runs descending by tokens; the reference is the first.
+		for i := 1; i < len(jf.Runs); i++ {
+			if jf.Runs[i].Tokens >= jf.Runs[i-1].Tokens {
+				t.Fatal("runs not sorted descending by tokens")
+			}
+		}
+		if jf.Reference().Tokens != jf.Runs[0].Tokens {
+			t.Fatal("Reference is not the highest-token run")
+		}
+		// Filter 2: usage never exceeds allocation in survivors.
+		for _, run := range jf.Runs {
+			if run.Skyline.Peak() > run.Tokens {
+				t.Fatal("overusing run survived filter 2")
+			}
+			if run.RuntimeSeconds != run.Skyline.Runtime() {
+				t.Fatal("runtime/skyline inconsistency")
+			}
+		}
+		// Filter 3: monotone within tolerance.
+		for i := 1; i < len(jf.Runs); i++ {
+			prev := float64(jf.Runs[i-1].RuntimeSeconds)
+			cur := float64(jf.Runs[i].RuntimeSeconds)
+			if cur < prev*0.9-1 {
+				t.Fatalf("non-monotone survivor: %v then %v", prev, cur)
+			}
+		}
+	}
+}
+
+func TestExecuteDeterministicPerSeed(t *testing.T) {
+	recs := selectedRecords(t, 25, 4)
+	var ex scopesim.Executor
+	a, err := Execute(recs, &ex, DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute(recs, &ex, DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Jobs) != len(b.Jobs) || a.TotalRuns != b.TotalRuns {
+		t.Fatal("same-seed flighting differs")
+	}
+}
+
+func TestOveruseAnomalyGetsFiltered(t *testing.T) {
+	recs := selectedRecords(t, 30, 6)
+	var ex scopesim.Executor
+	cfg := DefaultConfig(7)
+	cfg.OveruseProb = 1 // every run overuses → every job rejected by filter 2
+	if _, err := Execute(recs, &ex, cfg); err == nil {
+		t.Fatal("dataset produced despite universal overuse")
+	}
+	cfg.OveruseProb = 0.3
+	ds, err := Execute(recs, &ex, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.RejectedOveruse == 0 {
+		t.Fatal("no overuse rejections recorded at 30% anomaly rate")
+	}
+}
+
+func TestFailureProbCausesIsolatedRejections(t *testing.T) {
+	recs := selectedRecords(t, 40, 8)
+	var ex scopesim.Executor
+	cfg := DefaultConfig(9)
+	cfg.FailureProb = 0.9
+	cfg.Redundancy = 1
+	ds, err := Execute(recs, &ex, cfg)
+	if err != nil {
+		// With 90% failures everything may be filtered; that is acceptable.
+		return
+	}
+	if ds.RejectedIsolated == 0 {
+		t.Fatal("no isolated-flight rejections at 90% failure rate")
+	}
+}
+
+func TestAreaConservationStats(t *testing.T) {
+	recs := selectedRecords(t, 50, 10)
+	var ex scopesim.Executor
+	ds, err := Execute(recs, &ex, DefaultConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := ds.AreaConservation([]float64{0.3, 0.5, 0.8})
+	if len(as.PairDiffs) == 0 {
+		t.Fatal("no pair diffs")
+	}
+	for _, d := range as.PairDiffs {
+		if d < 0 || d > 1 {
+			t.Fatalf("pair diff %v outside [0,1]", d)
+		}
+	}
+	// Match fraction grows with tolerance.
+	if as.MatchFraction(0.8) < as.MatchFraction(0.3) {
+		t.Fatal("match fraction not monotone in tolerance")
+	}
+	// Outlier histograms account for every job.
+	for tol, hist := range as.OutliersPerJob {
+		var total int
+		for _, c := range hist {
+			total += c
+		}
+		if total != len(ds.Jobs) {
+			t.Fatalf("tol %v: outlier histogram counts %d jobs of %d", tol, total, len(ds.Jobs))
+		}
+	}
+	// Looser tolerance cannot produce more outliers overall.
+	w30 := weightedOutliers(as.OutliersPerJob[0.3])
+	w80 := weightedOutliers(as.OutliersPerJob[0.8])
+	if w80 > w30 {
+		t.Fatalf("outliers at 80%% (%d) exceed outliers at 30%% (%d)", w80, w30)
+	}
+}
+
+func weightedOutliers(hist []int) int {
+	var total int
+	for k, c := range hist {
+		total += k * c
+	}
+	return total
+}
+
+func TestFullyMatchedSubset(t *testing.T) {
+	recs := selectedRecords(t, 50, 12)
+	var ex scopesim.Executor
+	ds, err := Execute(recs, &ex, DefaultConfig(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := ds.FullyMatched(0.3)
+	if len(full) > len(ds.Jobs) {
+		t.Fatal("fully-matched larger than dataset")
+	}
+	loose := ds.FullyMatched(2.0)
+	if len(loose) != len(ds.Jobs) {
+		t.Fatal("tolerance 200% must match everything")
+	}
+	for _, jf := range full {
+		for i := 0; i < len(jf.Runs); i++ {
+			for j := i + 1; j < len(jf.Runs); j++ {
+				if skyline.AreaDifferenceFraction(jf.Runs[i].Skyline, jf.Runs[j].Skyline) > 0.3 {
+					t.Fatal("fully-matched job has mismatching pair")
+				}
+			}
+		}
+	}
+}
+
+func TestValidateArepasAccuracy(t *testing.T) {
+	recs := selectedRecords(t, 80, 14)
+	var ex scopesim.Executor
+	ds, err := Execute(recs, &ex, DefaultConfig(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ValidateArepas(ds.Jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Comparisons == 0 {
+		t.Fatal("no comparisons")
+	}
+	if rep.MedianAPE < 0 || rep.MedianAPE > 1 {
+		t.Fatalf("MedianAPE %v implausible", rep.MedianAPE)
+	}
+	// The paper's headline: AREPAS matches re-executed run times closely
+	// (median ~9%). Our substrate should land well under 35%.
+	if rep.MedianAPE > 0.35 {
+		t.Fatalf("AREPAS MedianAPE %.1f%% too high", rep.MedianAPE*100)
+	}
+	if rep.MeanAPE < rep.MedianAPE/3 {
+		t.Fatalf("MeanAPE %v vs MedianAPE %v inconsistent", rep.MeanAPE, rep.MedianAPE)
+	}
+	if len(rep.PerJobMedianPE) == 0 {
+		t.Fatal("no per-job errors")
+	}
+}
+
+func TestFlightTokensDistinctDescending(t *testing.T) {
+	toks := flightTokens(10, []float64{1.0, 0.8, 0.6, 0.2, 0.15})
+	prev := 1 << 30
+	seen := map[int]bool{}
+	for _, tok := range toks {
+		if tok >= prev || tok < 1 || seen[tok] {
+			t.Fatalf("bad token grid %v", toks)
+		}
+		seen[tok] = true
+		prev = tok
+	}
+}
+
+func TestMonotoneWithTolerance(t *testing.T) {
+	mk := func(rts ...int) []Run {
+		out := make([]Run, len(rts))
+		for i, rt := range rts {
+			out[i] = Run{Tokens: 100 - i, RuntimeSeconds: rt}
+		}
+		return out
+	}
+	if !monotoneWithTolerance(mk(100, 110, 150), 0.1) {
+		t.Fatal("valid increasing-runtime series rejected")
+	}
+	if monotoneWithTolerance(mk(100, 80), 0.1) {
+		t.Fatal("20% speedup with fewer tokens accepted")
+	}
+	if !monotoneWithTolerance(mk(100, 95), 0.1) {
+		t.Fatal("5% jitter within tolerance rejected")
+	}
+}

@@ -1,0 +1,50 @@
+package gbt
+
+import (
+	"math/rand"
+	"testing"
+
+	"tasq/internal/ml/linalg"
+)
+
+func BenchmarkTrain(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1000
+	x := linalg.New(n, 20)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 20; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+		y[i] = 100 + 10*x.At(i, 0) + rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(x, y, Config{NumTrees: 30, MaxDepth: 4, Seed: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 500
+	x := linalg.New(n, 20)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 20; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+		y[i] = 100 + 10*x.At(i, 0)
+	}
+	m, err := Train(x, y, Config{NumTrees: 100, MaxDepth: 5, Seed: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	row := x.Row(0)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Predict(row)
+	}
+}

@@ -1,0 +1,70 @@
+package gbt
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// The wire types mirror the unexported model structures with exported
+// fields so encoding/gob can see them. Kept separate from the runtime
+// types so the hot prediction path stays compact.
+
+type nodeDTO struct {
+	Feature   int
+	Threshold float64
+	Left      int
+	Right     int
+	Value     float64
+}
+
+type treeDTO struct {
+	Nodes []nodeDTO
+}
+
+type modelDTO struct {
+	Cfg   Config
+	Base  float64
+	Trees []treeDTO
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *Model) GobEncode() ([]byte, error) {
+	dto := modelDTO{Cfg: m.cfg, Base: m.base}
+	for _, t := range m.trees {
+		td := treeDTO{Nodes: make([]nodeDTO, len(t.nodes))}
+		for i, n := range t.nodes {
+			td.Nodes[i] = nodeDTO{Feature: n.feature, Threshold: n.threshold, Left: n.left, Right: n.right, Value: n.value}
+		}
+		dto.Trees = append(dto.Trees, td)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(dto); err != nil {
+		return nil, fmt.Errorf("gbt: encoding model: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *Model) GobDecode(data []byte) error {
+	var dto modelDTO
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&dto); err != nil {
+		return fmt.Errorf("gbt: decoding model: %w", err)
+	}
+	m.cfg = dto.Cfg
+	m.base = dto.Base
+	m.trees = m.trees[:0]
+	for _, td := range dto.Trees {
+		t := &tree{nodes: make([]node, len(td.Nodes))}
+		for i, n := range td.Nodes {
+			if n.Feature >= 0 {
+				if n.Left < 0 || n.Left >= len(td.Nodes) || n.Right < 0 || n.Right >= len(td.Nodes) {
+					return fmt.Errorf("gbt: decoded tree has child index out of range")
+				}
+			}
+			t.nodes[i] = node{feature: n.Feature, threshold: n.Threshold, left: n.Left, right: n.Right, value: n.Value}
+		}
+		m.trees = append(m.trees, t)
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package gnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"tasq/internal/features"
+	"tasq/internal/ml/autodiff"
+)
+
+func BenchmarkForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := New(rng, DefaultConfig(features.OperatorDim))
+	f, adj := ringGraph(30, features.OperatorDim, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tape := autodiff.NewTape()
+		out, _ := m.Forward(tape, tape.Const(f), tape.Const(adj))
+		autodiff.Backward(autodiff.Mean(autodiff.Abs(out)))
+	}
+}

@@ -1,0 +1,134 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned by solvers when the system matrix is singular or
+// numerically indistinguishable from singular.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// SolveLinear solves A·x = b for x using Gaussian elimination with partial
+// pivoting. A must be square; b must have A.Rows rows (any column count).
+func SolveLinear(a, b *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: solve requires square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if b.Rows != a.Rows {
+		return nil, fmt.Errorf("linalg: solve rhs has %d rows, want %d", b.Rows, a.Rows)
+	}
+	n := a.Rows
+	// Work on copies: the caller's matrices are left untouched.
+	lu := a.Clone()
+	x := b.Clone()
+	for col := 0; col < n; col++ {
+		// Partial pivot: pick the row with the largest magnitude in this column.
+		pivot := col
+		maxAbs := math.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if abs := math.Abs(lu.At(r, col)); abs > maxAbs {
+				maxAbs, pivot = abs, r
+			}
+		}
+		if maxAbs < 1e-14 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(lu, pivot, col)
+			swapRows(x, pivot, col)
+		}
+		inv := 1 / lu.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := lu.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				lu.Set(r, c, lu.At(r, c)-f*lu.At(col, c))
+			}
+			for c := 0; c < x.Cols; c++ {
+				x.Set(r, c, x.At(r, c)-f*x.At(col, c))
+			}
+		}
+	}
+	// Back substitution.
+	for col := n - 1; col >= 0; col-- {
+		inv := 1 / lu.At(col, col)
+		for c := 0; c < x.Cols; c++ {
+			s := x.At(col, c)
+			for k := col + 1; k < n; k++ {
+				s -= lu.At(col, k) * x.At(k, c)
+			}
+			x.Set(col, c, s*inv)
+		}
+	}
+	return x, nil
+}
+
+func swapRows(m *Matrix, i, j int) {
+	ri, rj := m.Row(i), m.Row(j)
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// LeastSquares solves min‖X·β − y‖² via the normal equations with a small
+// ridge term for numerical stability. X is n x p, y is n x 1; the result is
+// p x 1. A tiny ridge (1e-9 on the diagonal) keeps near-collinear designs
+// solvable without visibly biasing well-conditioned fits.
+func LeastSquares(x, y *Matrix) (*Matrix, error) {
+	if x.Rows != y.Rows {
+		return nil, fmt.Errorf("linalg: least squares rows mismatch %d vs %d", x.Rows, y.Rows)
+	}
+	if x.Rows < x.Cols {
+		return nil, fmt.Errorf("linalg: least squares underdetermined: %d rows < %d cols", x.Rows, x.Cols)
+	}
+	xt := Transpose(x)
+	xtx := MatMul(xt, x)
+	for i := 0; i < xtx.Rows; i++ {
+		xtx.Set(i, i, xtx.At(i, i)+1e-9)
+	}
+	xty := MatMul(xt, y)
+	return SolveLinear(xtx, xty)
+}
+
+// SolveTridiagonal solves a tridiagonal system using the Thomas algorithm.
+// sub, diag and sup are the sub-, main and super-diagonals; len(diag) == n,
+// len(sub) == len(sup) == n−1, len(rhs) == n. The inputs are not modified.
+func SolveTridiagonal(sub, diag, sup, rhs []float64) ([]float64, error) {
+	n := len(diag)
+	if len(rhs) != n || len(sub) != n-1 || len(sup) != n-1 {
+		return nil, fmt.Errorf("linalg: tridiagonal size mismatch: diag=%d sub=%d sup=%d rhs=%d",
+			n, len(sub), len(sup), len(rhs))
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	c := make([]float64, n-1) // modified super-diagonal
+	d := make([]float64, n)   // modified rhs
+	if math.Abs(diag[0]) < 1e-14 {
+		return nil, ErrSingular
+	}
+	if n > 1 {
+		c[0] = sup[0] / diag[0]
+	}
+	d[0] = rhs[0] / diag[0]
+	for i := 1; i < n; i++ {
+		den := diag[i] - sub[i-1]*c[i-1]
+		if math.Abs(den) < 1e-14 {
+			return nil, ErrSingular
+		}
+		if i < n-1 {
+			c[i] = sup[i] / den
+		}
+		d[i] = (rhs[i] - sub[i-1]*d[i-1]) / den
+	}
+	x := make([]float64, n)
+	x[n-1] = d[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = d[i] - c[i]*x[i+1]
+	}
+	return x, nil
+}

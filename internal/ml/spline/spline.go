@@ -1,0 +1,145 @@
+// Package spline implements a natural cubic smoothing spline (the
+// Reinsch/Green–Silverman formulation) used by the XGBoost-SS curve
+// construction of the paper (§4.4): a series of point predictions at
+// nearby token counts is smoothed into a curve by minimizing
+//
+//	Σᵢ (yᵢ − f(xᵢ))² + λ ∫ f″(t)² dt.
+//
+// λ = 0 interpolates the points exactly; λ → ∞ approaches the
+// least-squares straight line.
+package spline
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"tasq/internal/ml/linalg"
+)
+
+// ErrTooFewPoints is returned for fewer than two distinct knots.
+var ErrTooFewPoints = errors.New("spline: need at least two distinct x values")
+
+// SmoothingSpline is a fitted natural cubic spline through smoothed values.
+type SmoothingSpline struct {
+	x  []float64 // ascending knots
+	y  []float64 // smoothed fitted values at knots
+	m  []float64 // second derivatives at knots (natural: m[0]=m[n-1]=0)
+	lm float64   // the λ used, kept for introspection
+}
+
+// Lambda returns the smoothing parameter the spline was fitted with.
+func (s *SmoothingSpline) Lambda() float64 { return s.lm }
+
+// FittedValues returns the smoothed values at the knots.
+func (s *SmoothingSpline) FittedValues() []float64 {
+	return append([]float64(nil), s.y...)
+}
+
+// Fit builds a smoothing spline through (x, y) with smoothing parameter
+// lambda ≥ 0. x need not be sorted but must contain at least two distinct
+// values; ties are averaged.
+func Fit(x, y []float64, lambda float64) (*SmoothingSpline, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("spline: %d x values vs %d y values", len(x), len(y))
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("spline: negative lambda %v", lambda)
+	}
+	xs, ys := dedupSorted(x, y)
+	n := len(xs)
+	if n < 2 {
+		return nil, ErrTooFewPoints
+	}
+	if n == 2 {
+		// Two knots: the spline is the straight line through them.
+		return &SmoothingSpline{x: xs, y: ys, m: []float64{0, 0}, lm: lambda}, nil
+	}
+
+	// Green & Silverman: γ solves (R + λ QᵀQ) γ = Qᵀ y, fitted = y − λ Q γ.
+	h := make([]float64, n-1)
+	for i := range h {
+		h[i] = xs[i+1] - xs[i]
+	}
+	q := linalg.New(n, n-2)
+	r := linalg.New(n-2, n-2)
+	for j := 0; j < n-2; j++ {
+		q.Set(j, j, 1/h[j])
+		q.Set(j+1, j, -1/h[j]-1/h[j+1])
+		q.Set(j+2, j, 1/h[j+1])
+		r.Set(j, j, (h[j]+h[j+1])/3)
+		if j+1 < n-2 {
+			r.Set(j, j+1, h[j+1]/6)
+			r.Set(j+1, j, h[j+1]/6)
+		}
+	}
+	qt := linalg.Transpose(q)
+	sys := linalg.Add(r, linalg.Scale(linalg.MatMul(qt, q), lambda))
+	rhs := linalg.MatMul(qt, linalg.ColVector(ys))
+	gamma, err := linalg.SolveLinear(sys, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("spline: solving smoothing system: %w", err)
+	}
+	fitted := linalg.Sub(linalg.ColVector(ys), linalg.Scale(linalg.MatMul(q, gamma), lambda))
+
+	s := &SmoothingSpline{x: xs, y: fitted.Col(0), m: make([]float64, n), lm: lambda}
+	for j := 0; j < n-2; j++ {
+		s.m[j+1] = gamma.At(j, 0)
+	}
+	return s, nil
+}
+
+// At evaluates the spline. Outside the knot range the spline extrapolates
+// linearly with the boundary slope (the natural-spline convention).
+func (s *SmoothingSpline) At(v float64) float64 {
+	n := len(s.x)
+	switch {
+	case v <= s.x[0]:
+		return s.y[0] + s.boundarySlope(true)*(v-s.x[0])
+	case v >= s.x[n-1]:
+		return s.y[n-1] + s.boundarySlope(false)*(v-s.x[n-1])
+	}
+	i := sort.SearchFloat64s(s.x, v) - 1
+	if i < 0 {
+		i = 0
+	}
+	h := s.x[i+1] - s.x[i]
+	a := (s.x[i+1] - v) / h
+	b := (v - s.x[i]) / h
+	return a*s.y[i] + b*s.y[i+1] +
+		((a*a*a-a)*s.m[i]+(b*b*b-b)*s.m[i+1])*h*h/6
+}
+
+// boundarySlope returns f′ at the first (left=true) or last knot.
+func (s *SmoothingSpline) boundarySlope(left bool) float64 {
+	n := len(s.x)
+	if left {
+		h := s.x[1] - s.x[0]
+		return (s.y[1]-s.y[0])/h - h/6*(2*s.m[0]+s.m[1])
+	}
+	h := s.x[n-1] - s.x[n-2]
+	return (s.y[n-1]-s.y[n-2])/h + h/6*(s.m[n-2]+2*s.m[n-1])
+}
+
+// dedupSorted sorts (x, y) by x and averages y over duplicate x values.
+func dedupSorted(x, y []float64) ([]float64, []float64) {
+	type pt struct{ x, y float64 }
+	pts := make([]pt, len(x))
+	for i := range x {
+		pts[i] = pt{x[i], y[i]}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+	var xs, ys []float64
+	for i := 0; i < len(pts); {
+		j := i
+		var sum float64
+		for j < len(pts) && pts[j].x == pts[i].x {
+			sum += pts[j].y
+			j++
+		}
+		xs = append(xs, pts[i].x)
+		ys = append(ys, sum/float64(j-i))
+		i = j
+	}
+	return xs, ys
+}

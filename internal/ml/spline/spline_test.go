@@ -1,0 +1,170 @@
+package spline
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit([]float64{1}, []float64{1, 2}, 0); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Fit([]float64{1, 2}, []float64{1, 2}, -1); err == nil {
+		t.Fatal("negative lambda accepted")
+	}
+	if _, err := Fit([]float64{3, 3, 3}, []float64{1, 2, 3}, 0); !errors.Is(err, ErrTooFewPoints) {
+		t.Fatalf("all-duplicate x: err = %v", err)
+	}
+	if _, err := Fit(nil, nil, 0); !errors.Is(err, ErrTooFewPoints) {
+		t.Fatalf("empty: err = %v", err)
+	}
+}
+
+func TestTwoPointsIsLine(t *testing.T) {
+	s, err := Fit([]float64{0, 10}, []float64{5, 25}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.At(5); math.Abs(got-15) > 1e-10 {
+		t.Fatalf("midpoint = %v, want 15", got)
+	}
+	if got := s.At(20); math.Abs(got-45) > 1e-10 {
+		t.Fatalf("extrapolation = %v, want 45", got)
+	}
+}
+
+func TestZeroLambdaInterpolates(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{1, 3, 2, 5, 4}
+	s, err := Fit(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if got := s.At(x[i]); math.Abs(got-y[i]) > 1e-8 {
+			t.Fatalf("At(%v) = %v, want %v", x[i], got, y[i])
+		}
+	}
+}
+
+func TestLargeLambdaApproachesLine(t *testing.T) {
+	// Noisy samples of y = 2x + 1: huge λ must flatten curvature to ~0,
+	// recovering nearly the least-squares line.
+	rng := rand.New(rand.NewSource(1))
+	var x, y []float64
+	for i := 0; i < 20; i++ {
+		xi := float64(i)
+		x = append(x, xi)
+		y = append(y, 2*xi+1+rng.NormFloat64()*0.5)
+	}
+	s, err := Fit(x, y, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check linearity: second differences of fitted values ~0.
+	f := s.FittedValues()
+	for i := 2; i < len(f); i++ {
+		if dd := f[i] - 2*f[i-1] + f[i-2]; math.Abs(dd) > 1e-3 {
+			t.Fatalf("large-lambda fit not linear: second diff %v at %d", dd, i)
+		}
+	}
+	// Slope close to 2.
+	slope := (f[len(f)-1] - f[0]) / (x[len(x)-1] - x[0])
+	if math.Abs(slope-2) > 0.2 {
+		t.Fatalf("slope = %v, want ~2", slope)
+	}
+}
+
+func TestSmoothingReducesRoughness(t *testing.T) {
+	// λ>0 must not increase the roughness (sum of squared second diffs)
+	// of the fitted values relative to the raw data.
+	rng := rand.New(rand.NewSource(2))
+	var x, y []float64
+	for i := 0; i < 15; i++ {
+		x = append(x, float64(i))
+		y = append(y, math.Sin(float64(i))+rng.NormFloat64())
+	}
+	rough := func(v []float64) float64 {
+		var r float64
+		for i := 2; i < len(v); i++ {
+			d := v[i] - 2*v[i-1] + v[i-2]
+			r += d * d
+		}
+		return r
+	}
+	s, err := Fit(x, y, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rough(s.FittedValues()) > rough(y) {
+		t.Fatalf("smoothing increased roughness: %v > %v", rough(s.FittedValues()), rough(y))
+	}
+}
+
+func TestDuplicateXAveraged(t *testing.T) {
+	s, err := Fit([]float64{0, 0, 1, 2}, []float64{2, 4, 5, 6}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.At(0); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("averaged duplicate = %v, want 3", got)
+	}
+}
+
+func TestUnsortedInput(t *testing.T) {
+	s1, err := Fit([]float64{3, 1, 2, 0}, []float64{9, 1, 4, 0}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Fit([]float64{0, 1, 2, 3}, []float64{0, 1, 4, 9}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0.0; v <= 3; v += 0.25 {
+		if math.Abs(s1.At(v)-s2.At(v)) > 1e-9 {
+			t.Fatalf("order dependence at %v: %v vs %v", v, s1.At(v), s2.At(v))
+		}
+	}
+}
+
+func TestContinuityAtKnotsProperty(t *testing.T) {
+	// The spline must be continuous: values just left/right of each knot
+	// agree with the knot value.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(10)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i) + rng.Float64()*0.5
+			y[i] = rng.NormFloat64() * 10
+		}
+		s, err := Fit(x, y, rng.Float64()*3)
+		if err != nil {
+			return false
+		}
+		for _, xi := range x[1 : n-1] {
+			at := s.At(xi)
+			if math.Abs(s.At(xi-1e-9)-at) > 1e-5 || math.Abs(s.At(xi+1e-9)-at) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLambdaAccessor(t *testing.T) {
+	s, err := Fit([]float64{0, 1, 2}, []float64{0, 1, 2}, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Lambda() != 2.5 {
+		t.Fatalf("lambda = %v", s.Lambda())
+	}
+}

@@ -1,0 +1,17 @@
+package pcc
+
+import "testing"
+
+func BenchmarkFit(b *testing.B) {
+	truth := Curve{A: -0.7, B: 2500}
+	var samples []Sample
+	for tok := 4.0; tok <= 512; tok *= 1.3 {
+		samples = append(samples, Sample{Tokens: tok, Runtime: truth.Runtime(tok)})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

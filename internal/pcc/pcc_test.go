@@ -1,0 +1,223 @@
+package pcc
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCurveRuntimeAndSlope(t *testing.T) {
+	c := Curve{A: -1, B: 1000} // pure Amdahl: R = 1000/A
+	if got := c.Runtime(10); got != 100 {
+		t.Fatalf("runtime(10) = %v, want 100", got)
+	}
+	if got := c.Slope(10); got != -10 {
+		t.Fatalf("slope(10) = %v, want -10", got)
+	}
+}
+
+func TestNonIncreasingAndValid(t *testing.T) {
+	cases := []struct {
+		c    Curve
+		mono bool
+	}{
+		{Curve{A: -0.5, B: 100}, true},
+		{Curve{A: 0, B: 100}, true},
+		{Curve{A: 0.5, B: 100}, false},
+		{Curve{A: -0.5, B: -1}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.c.NonIncreasing(); got != tc.mono {
+			t.Fatalf("NonIncreasing(%+v) = %v, want %v", tc.c, got, tc.mono)
+		}
+	}
+	if (Curve{A: math.NaN(), B: 1}).Valid() {
+		t.Fatal("NaN exponent must be invalid")
+	}
+	if !(Curve{A: -1, B: 1}).Valid() {
+		t.Fatal("sane curve must be valid")
+	}
+}
+
+func TestFitRecoversExactPowerLaw(t *testing.T) {
+	truth := Curve{A: -0.7, B: 2500}
+	var samples []Sample
+	for _, tok := range []float64{5, 10, 20, 40, 80, 160} {
+		samples = append(samples, Sample{Tokens: tok, Runtime: truth.Runtime(tok)})
+	}
+	got, err := Fit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.A-truth.A) > 1e-9 || math.Abs(got.B-truth.B)/truth.B > 1e-9 {
+		t.Fatalf("fit = %+v, want %+v", got, truth)
+	}
+	if r2 := got.RSquared(samples); math.Abs(r2-1) > 1e-9 {
+		t.Fatalf("R² = %v, want 1", r2)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil); !errors.Is(err, ErrTooFewPoints) {
+		t.Fatalf("err = %v, want ErrTooFewPoints", err)
+	}
+	if _, err := Fit([]Sample{{10, 100}}); !errors.Is(err, ErrTooFewPoints) {
+		t.Fatalf("err = %v, want ErrTooFewPoints", err)
+	}
+	if _, err := Fit([]Sample{{10, 100}, {10, 90}}); !errors.Is(err, ErrTooFewPoints) {
+		t.Fatalf("identical tokens: err = %v, want ErrTooFewPoints", err)
+	}
+	if _, err := Fit([]Sample{{0.5, 100}, {10, 90}}); !errors.Is(err, ErrBadSample) {
+		t.Fatalf("tokens<1: err = %v, want ErrBadSample", err)
+	}
+	if _, err := Fit([]Sample{{2, 0}, {10, 90}}); !errors.Is(err, ErrBadSample) {
+		t.Fatalf("runtime 0: err = %v, want ErrBadSample", err)
+	}
+}
+
+func TestFitRecoversUnderNoiseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		truth := Curve{A: -(0.1 + rng.Float64()), B: 100 + rng.Float64()*5000}
+		var samples []Sample
+		for tok := 4.0; tok <= 512; tok *= 2 {
+			noise := math.Exp(rng.NormFloat64() * 0.02)
+			samples = append(samples, Sample{Tokens: tok, Runtime: truth.Runtime(tok) * noise})
+		}
+		got, err := Fit(samples)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got.A-truth.A) < 0.1 && math.Abs(math.Log(got.B/truth.B)) < 0.3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitIntPoints(t *testing.T) {
+	c, err := FitIntPoints([]int{10, 20, 40}, []int{100, 50, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.A+1) > 1e-9 {
+		t.Fatalf("A = %v, want -1", c.A)
+	}
+	if _, err := FitIntPoints([]int{1, 2}, []int{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	// Zero runtimes are skipped; fewer than 2 usable points errors.
+	if _, err := FitIntPoints([]int{1, 2}, []int{0, 5}); !errors.Is(err, ErrTooFewPoints) {
+		t.Fatalf("err = %v, want ErrTooFewPoints", err)
+	}
+}
+
+func TestOptimalTokensRule(t *testing.T) {
+	// R = b·A^a with a = -0.8: marginal relative gain |a|/A < 0.01 ⇔ A > 80.
+	c := Curve{A: -0.8, B: 1000}
+	if got := c.OptimalTokens(1, 1000, 0.01); got != 80 {
+		t.Fatalf("optimal = %d, want 80", got)
+	}
+	// Clamped by max.
+	if got := c.OptimalTokens(1, 50, 0.01); got != 50 {
+		t.Fatalf("optimal clamped = %d, want 50", got)
+	}
+	// Clamped by min.
+	if got := c.OptimalTokens(200, 1000, 0.01); got != 200 {
+		t.Fatalf("optimal min-clamped = %d, want 200", got)
+	}
+	// Increasing curve: more tokens never help.
+	inc := Curve{A: 0.5, B: 10}
+	if got := inc.OptimalTokens(3, 100, 0.01); got != 3 {
+		t.Fatalf("increasing-curve optimal = %d, want 3", got)
+	}
+	// Non-positive threshold degrades safely.
+	if got := c.OptimalTokens(3, 100, 0); got != 3 {
+		t.Fatalf("zero-threshold optimal = %d, want 3", got)
+	}
+}
+
+func TestOptimalTokensThresholdProperty(t *testing.T) {
+	// At the chosen allocation the marginal relative gain is below the
+	// threshold; one token earlier it is not (unless clamped).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := Curve{A: -(0.2 + rng.Float64()*1.5), B: 100 + rng.Float64()*1000}
+		th := 0.002 + rng.Float64()*0.05
+		opt := c.OptimalTokens(1, 1_000_000, th)
+		gainAt := -c.A / float64(opt)
+		if gainAt >= th+1e-9 {
+			return false
+		}
+		if opt > 1 {
+			gainBefore := -c.A / float64(opt-1)
+			if gainBefore < th-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElbow(t *testing.T) {
+	c := Curve{A: -1, B: 2000}
+	elbow := c.Elbow(5, 200)
+	// The knee of 2000/A over [5,200] sits well inside the range.
+	if elbow <= 5 || elbow >= 200 {
+		t.Fatalf("elbow = %d, want interior point", elbow)
+	}
+	// Degenerate range.
+	if got := c.Elbow(10, 10); got != 10 {
+		t.Fatalf("degenerate elbow = %d, want 10", got)
+	}
+	if got := c.Elbow(-5, 0); got != 1 {
+		t.Fatalf("clamped elbow = %d, want 1", got)
+	}
+}
+
+func TestTrendPoints(t *testing.T) {
+	c := Curve{A: -1, B: 100}
+	got := c.TrendPoints([]int{1, 2, 4})
+	want := []float64{100, 50, 25}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trend = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIsMonotoneNonIncreasing(t *testing.T) {
+	if !IsMonotoneNonIncreasing([]float64{100, 90, 90, 80}, 0) {
+		t.Fatal("strictly decreasing series rejected")
+	}
+	if IsMonotoneNonIncreasing([]float64{100, 110}, 0) {
+		t.Fatal("increasing series accepted with zero tolerance")
+	}
+	if !IsMonotoneNonIncreasing([]float64{100, 105}, 0.1) {
+		t.Fatal("small increase must be forgiven within tolerance")
+	}
+	if !IsMonotoneNonIncreasing(nil, 0) || !IsMonotoneNonIncreasing([]float64{5}, 0) {
+		t.Fatal("trivial series must be monotone")
+	}
+}
+
+func TestFittedCurveMonotonePredictions(t *testing.T) {
+	// A curve fitted to decreasing data must produce a monotone trend.
+	samples := []Sample{{10, 500}, {20, 300}, {40, 200}, {80, 150}}
+	c, err := Fit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.NonIncreasing() {
+		t.Fatalf("fit to decreasing data not non-increasing: %+v", c)
+	}
+	trend := c.TrendPoints([]int{10, 20, 40, 80, 160})
+	if !IsMonotoneNonIncreasing(trend, 0) {
+		t.Fatalf("trend not monotone: %v", trend)
+	}
+}

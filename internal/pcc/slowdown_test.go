@@ -1,0 +1,75 @@
+package pcc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokensForSlowdownClosedForm(t *testing.T) {
+	// R = 1000/A: 10% slowdown allows A ≥ 100/1.1 ≈ 90.9 → 91.
+	c := Curve{A: -1, B: 1000}
+	if got := c.TokensForSlowdown(100, 0.1); got != 91 {
+		t.Fatalf("tokens = %d, want 91", got)
+	}
+	// The bound actually holds at the returned allocation.
+	base := c.Runtime(100)
+	if c.Runtime(91) > base*1.1 {
+		t.Fatalf("runtime at 91 = %v exceeds bound %v", c.Runtime(91), base*1.1)
+	}
+	// And is violated one token lower.
+	if c.Runtime(90) <= base*1.1 {
+		t.Fatalf("runtime at 90 = %v within bound — 91 not minimal", c.Runtime(90))
+	}
+}
+
+func TestTokensForSlowdownEdgeCases(t *testing.T) {
+	c := Curve{A: -0.5, B: 100}
+	if got := c.TokensForSlowdown(0, 0.1); got != 1 {
+		t.Fatalf("reference<1 gave %d", got)
+	}
+	if got := c.TokensForSlowdown(100, 0); got != 100 {
+		t.Fatalf("zero slowdown gave %d, want reference", got)
+	}
+	// A flat curve predicts zero cost at any allocation.
+	flat := Curve{A: 0, B: 100}
+	if got := flat.TokensForSlowdown(100, 0.1); got != 1 {
+		t.Fatalf("flat curve gave %d, want 1", got)
+	}
+	// Increasing curves can't justify savings.
+	inc := Curve{A: 0.5, B: 100}
+	if got := inc.TokensForSlowdown(100, 0.1); got != 100 {
+		t.Fatalf("increasing curve gave %d, want reference", got)
+	}
+}
+
+func TestTokensForSlowdownBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := Curve{A: -(0.05 + rng.Float64()*2), B: 10 + rng.Float64()*1000}
+		ref := 2 + rng.Intn(2000)
+		s := 0.01 + rng.Float64()*0.5
+		tok := c.TokensForSlowdown(ref, s)
+		if tok < 1 || tok > ref {
+			return false
+		}
+		// Within the bound (allow epsilon for the integer ceiling).
+		return c.Runtime(float64(tok)) <= c.Runtime(float64(ref))*(1+s)*(1+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTokensForSlowdownMonotoneInSlack(t *testing.T) {
+	c := Curve{A: -0.8, B: 500}
+	prev := math.MaxInt32
+	for _, s := range []float64{0.01, 0.05, 0.1, 0.25, 0.5} {
+		tok := c.TokensForSlowdown(200, s)
+		if tok > prev {
+			t.Fatalf("allocation grew with slack: %d after %d", tok, prev)
+		}
+		prev = tok
+	}
+}

@@ -1,0 +1,17 @@
+package scopesim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkExecutorRun(b *testing.B) {
+	job := randomDAGJob(rand.New(rand.NewSource(1)), 8)
+	var ex Executor
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Run(job, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

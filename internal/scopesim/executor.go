@@ -1,0 +1,231 @@
+package scopesim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tasq/internal/skyline"
+)
+
+// Execution is the result of running a job on the cluster simulator.
+type Execution struct {
+	JobID           string
+	TokensAllocated int
+	Skyline         skyline.Skyline
+	// RuntimeSeconds == Skyline.Runtime(); kept explicit for telemetry.
+	RuntimeSeconds int
+}
+
+// Noise configures stochastic execution for flighting experiments. The
+// zero value means fully deterministic execution.
+type Noise struct {
+	// Sigma is the log-normal standard deviation applied to each task
+	// wave's duration, modeling environmental variance (cluster load,
+	// noisy neighbors). 0 disables it.
+	Sigma float64
+	// SlowdownProb is the per-execution probability that one random stage
+	// suffers an anomalous slowdown of SlowdownFactor (a straggler or
+	// machine failure with retry). 0 disables it.
+	SlowdownProb   float64
+	SlowdownFactor float64
+	// GlobalSigma is a log-normal factor applied once per execution to
+	// every task duration — run-to-run environmental drift (cluster load,
+	// hardware generation, time of day) that changes the total work done,
+	// the effect behind the area variation of Figure 12. 0 disables it.
+	GlobalSigma float64
+}
+
+// Executor runs jobs on a simulated token-based cluster: every task
+// occupies one token (container) for its duration; ready stages receive
+// free tokens in stage-ID order (FIFO); a stage becomes ready when all its
+// dependencies finish. The scheduler is work-conserving, so run time is
+// (near-)monotone non-increasing in the allocation — the paper's §4.1
+// common case — while DAG barriers produce the peaks and valleys real
+// skylines show.
+type Executor struct {
+	// MaxRuntimeSeconds aborts runaway simulations. Zero means the
+	// default cap of 1<<22 seconds (~48 days), far beyond any generated
+	// job.
+	MaxRuntimeSeconds int
+}
+
+const defaultMaxRuntime = 1 << 22
+
+// Run executes the job deterministically with the given token allocation.
+func (e *Executor) Run(job *Job, tokens int) (*Execution, error) {
+	return e.run(job, tokens, nil, Noise{})
+}
+
+// RunNoisy executes the job with environmental noise drawn from rng,
+// modeling a flight in a busy pre-production cluster.
+func (e *Executor) RunNoisy(job *Job, tokens int, rng *rand.Rand, noise Noise) (*Execution, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("scopesim: RunNoisy requires a rand source")
+	}
+	return e.run(job, tokens, rng, noise)
+}
+
+// taskEvent is a batch of same-stage tasks finishing at the same second.
+type taskEvent struct {
+	at    int // finish time in seconds
+	stage int
+	count int
+}
+
+type eventHeap []taskEvent
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(taskEvent)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+func (e *Executor) run(job *Job, tokens int, rng *rand.Rand, noise Noise) (*Execution, error) {
+	if tokens < 1 {
+		return nil, fmt.Errorf("scopesim: allocation %d < 1 token", tokens)
+	}
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	maxRuntime := e.MaxRuntimeSeconds
+	if maxRuntime <= 0 {
+		maxRuntime = defaultMaxRuntime
+	}
+
+	n := len(job.Stages)
+	if n == 0 {
+		return &Execution{JobID: job.ID, TokensAllocated: tokens, Skyline: skyline.Skyline{}}, nil
+	}
+
+	// Anomalous slowdown: one random stage's tasks run slower this flight.
+	slowStage, slowFactor := -1, 1.0
+	if rng != nil && noise.SlowdownProb > 0 && rng.Float64() < noise.SlowdownProb {
+		slowStage = rng.Intn(n)
+		slowFactor = noise.SlowdownFactor
+		if slowFactor < 1 {
+			slowFactor = 2
+		}
+	}
+	// Per-execution environmental drift scaling all durations.
+	global := 1.0
+	if rng != nil && noise.GlobalSigma > 0 {
+		global = math.Exp(rng.NormFloat64() * noise.GlobalSigma)
+	}
+
+	pendingDeps := make([]int, n)
+	dependents := make([][]int, n)
+	unstarted := make([]int, n) // tasks not yet started
+	remaining := make([]int, n) // tasks not yet finished
+	for i, st := range job.Stages {
+		pendingDeps[i] = len(st.Deps)
+		unstarted[i] = st.Tasks
+		remaining[i] = st.Tasks
+		for _, d := range st.Deps {
+			dependents[d] = append(dependents[d], i)
+		}
+	}
+
+	// ready holds stage IDs with no pending deps and unstarted tasks,
+	// served in ascending stage-ID order (generation emits stages in
+	// topological order, so this is FIFO by readiness).
+	ready := &intHeap{}
+	for i := 0; i < n; i++ {
+		if pendingDeps[i] == 0 {
+			heap.Push(ready, i)
+		}
+	}
+
+	events := &eventHeap{}
+	sky := make(skyline.Skyline, 0, 256)
+	free := tokens
+	t := 0
+
+	duration := func(stage int) int {
+		d := float64(job.Stages[stage].TaskSeconds) * global
+		if stage == slowStage {
+			d *= slowFactor
+		}
+		if rng != nil && noise.Sigma > 0 {
+			d *= math.Exp(rng.NormFloat64() * noise.Sigma)
+		}
+		id := int(math.Round(d))
+		if id < 1 {
+			id = 1
+		}
+		return id
+	}
+
+	for events.Len() > 0 || ready.Len() > 0 {
+		// Start as many tasks as free tokens allow, lowest stage ID first.
+		for free > 0 && ready.Len() > 0 {
+			s := (*ready)[0]
+			k := unstarted[s]
+			if k > free {
+				k = free
+			}
+			unstarted[s] -= k
+			free -= k
+			if unstarted[s] == 0 {
+				heap.Pop(ready)
+			}
+			heap.Push(events, taskEvent{at: t + duration(s), stage: s, count: k})
+		}
+		if events.Len() == 0 {
+			// No running tasks and nothing startable: the stage graph has
+			// unreachable work (Validate should have caught cycles).
+			return nil, fmt.Errorf("scopesim: job %s deadlocked at t=%d", job.ID, t)
+		}
+		next := (*events)[0].at
+		if next > maxRuntime {
+			return nil, fmt.Errorf("scopesim: job %s exceeded max runtime %ds", job.ID, maxRuntime)
+		}
+		// Record token usage for [t, next).
+		used := tokens - free
+		for ; t < next; t++ {
+			sky = append(sky, used)
+		}
+		// Process all completions at this instant.
+		for events.Len() > 0 && (*events)[0].at == next {
+			ev := heap.Pop(events).(taskEvent)
+			free += ev.count
+			remaining[ev.stage] -= ev.count
+			if remaining[ev.stage] == 0 {
+				for _, dep := range dependents[ev.stage] {
+					pendingDeps[dep]--
+					if pendingDeps[dep] == 0 {
+						heap.Push(ready, dep)
+					}
+				}
+			}
+		}
+	}
+
+	return &Execution{
+		JobID:           job.ID,
+		TokensAllocated: tokens,
+		Skyline:         sky,
+		RuntimeSeconds:  sky.Runtime(),
+	}, nil
+}
+
+type intHeap []int
+
+func (h intHeap) Len() int           { return len(h) }
+func (h intHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x any)        { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

@@ -1,0 +1,161 @@
+// Package scopesim is the SCOPE-like execution substrate this reproduction
+// runs on, standing in for Microsoft's Cosmos platform (see DESIGN.md's
+// substitution table). It models jobs as DAGs of physical operators grouped
+// into stages, carries the compile-time operator metadata of the paper's
+// Table 1 (true values plus the noisy estimates a query optimizer would
+// produce), and executes jobs on a token-based cluster scheduler that
+// yields per-second resource skylines — the ground truth that AREPAS and
+// the ML models are measured against.
+package scopesim
+
+import "fmt"
+
+// OpKind identifies one of the 35 physical operator types of SCOPE
+// (J. Zhou et al., §4.4/§5.2), the vocabulary of the paper's categorical
+// features.
+type OpKind int
+
+// The physical operators. NumOpKinds is the one-hot dimension.
+const (
+	OpExtract OpKind = iota
+	OpTableScan
+	OpIndexLookup
+	OpFilter
+	OpProject
+	OpProcess
+	OpReduce
+	OpCombine
+	OpHashJoin
+	OpMergeJoin
+	OpNestedLoopJoin
+	OpCrossJoin
+	OpSemiJoin
+	OpAntiSemiJoin
+	OpHashGroupBy
+	OpStreamGroupBy
+	OpAggregate
+	OpLocalAggregate
+	OpGlobalAggregate
+	OpSort
+	OpTopSort
+	OpWindow
+	OpExchange
+	OpBroadcastOp
+	OpHashPartitionOp
+	OpRangePartitionOp
+	OpSplit
+	OpSpool
+	OpUnion
+	OpUnionAll
+	OpIntersect
+	OpExcept
+	OpView
+	OpOutput
+	OpUserDefined
+
+	NumOpKinds = int(OpUserDefined) + 1
+)
+
+var opKindNames = [...]string{
+	"Extract", "TableScan", "IndexLookup", "Filter", "Project", "Process",
+	"Reduce", "Combine", "HashJoin", "MergeJoin", "NestedLoopJoin",
+	"CrossJoin", "SemiJoin", "AntiSemiJoin", "HashGroupBy", "StreamGroupBy",
+	"Aggregate", "LocalAggregate", "GlobalAggregate", "Sort", "TopSort",
+	"Window", "Exchange", "Broadcast", "HashPartition", "RangePartition",
+	"Split", "Spool", "Union", "UnionAll", "Intersect", "Except", "View",
+	"Output", "UserDefined",
+}
+
+// String returns the operator's SCOPE-style name.
+func (k OpKind) String() string {
+	if k < 0 || int(k) >= NumOpKinds {
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+	return opKindNames[k]
+}
+
+// Valid reports whether k names a real operator.
+func (k OpKind) Valid() bool { return k >= 0 && int(k) < NumOpKinds }
+
+// CostWeight returns a relative per-row processing weight for the operator
+// kind, used by the workload generator to derive task durations: joins and
+// sorts are heavier than scans and projections.
+func (k OpKind) CostWeight() float64 {
+	switch k {
+	case OpHashJoin, OpMergeJoin, OpSort, OpTopSort, OpWindow:
+		return 3.0
+	case OpNestedLoopJoin, OpCrossJoin:
+		return 5.0
+	case OpHashGroupBy, OpStreamGroupBy, OpAggregate, OpGlobalAggregate, OpReduce, OpCombine:
+		return 2.0
+	case OpExchange, OpBroadcastOp, OpHashPartitionOp, OpRangePartitionOp, OpSplit:
+		return 1.5
+	case OpUserDefined, OpProcess:
+		return 4.0
+	default:
+		return 1.0
+	}
+}
+
+// PartitionMethod is one of SCOPE's four data-partitioning schemes, the
+// second categorical feature family of Table 1.
+type PartitionMethod int
+
+// The partitioning methods. NumPartitionMethods is the one-hot dimension.
+const (
+	PartitionHash PartitionMethod = iota
+	PartitionRange
+	PartitionRoundRobin
+	PartitionBroadcast
+
+	NumPartitionMethods = int(PartitionBroadcast) + 1
+)
+
+var partitionNames = [...]string{"Hash", "Range", "RoundRobin", "Broadcast"}
+
+// String returns the method's name.
+func (p PartitionMethod) String() string {
+	if p < 0 || int(p) >= NumPartitionMethods {
+		return fmt.Sprintf("PartitionMethod(%d)", int(p))
+	}
+	return partitionNames[p]
+}
+
+// Valid reports whether p names a real partitioning method.
+func (p PartitionMethod) Valid() bool { return p >= 0 && int(p) < NumPartitionMethods }
+
+// OpMetrics carries the per-operator quantities of the paper's Table 1.
+// The same struct is used twice per operator: once with the query
+// optimizer's estimates (what the models may see at compile time) and once
+// with the true values (what the executor runs on).
+type OpMetrics struct {
+	// Continuous features.
+	OutputCardinality        float64 // estimated rows produced
+	LeafInputCardinality     float64 // rows read from inputs at DAG leaves below this operator
+	ChildrenInputCardinality float64 // rows arriving from direct children
+	AvgRowLength             float64 // bytes per row
+	SubtreeCost              float64 // cost of this operator's whole subtree
+	ExclusiveCost            float64 // this operator's own cost
+	TotalCost                float64 // cumulative cost including this operator
+
+	// Discrete features.
+	NumPartitions          int // degree of data parallelism
+	NumPartitioningColumns int
+	NumSortColumns         int
+}
+
+// Operator is one node of a SCOPE job's physical execution DAG.
+type Operator struct {
+	ID           int
+	Kind         OpKind
+	Partitioning PartitionMethod
+	// Children are the IDs of operators feeding this one (edges point
+	// child → parent in dataflow order).
+	Children []int
+	// Stage is the index of the job stage this operator is pipelined into.
+	Stage int
+	// Est holds compile-time estimates (featurization input); True holds
+	// the actual values the executor derives work from. Models never see
+	// True.
+	Est, True OpMetrics
+}

@@ -1,0 +1,197 @@
+// Package selection implements the flighting job-selection procedure of
+// §5.1 of the TASQ paper: a stratified under-sampling pipeline that picks a
+// small, representative subset of production jobs for re-execution. The
+// four steps are (1) job filtering into a pre-selected pool, (2) k-means
+// clustering of the whole population with cluster prediction for pool
+// jobs, (3) stratified random under-sampling matching the population's
+// cluster-size proportions with a per-template repeat cap, and (4) quality
+// evaluation with a Kolmogorov–Smirnov test before and after selection.
+package selection
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tasq/internal/jobrepo"
+	"tasq/internal/stats"
+)
+
+// Config controls the selection procedure.
+type Config struct {
+	// K is the number of k-means clusters; the paper uses 8.
+	K int
+	// SampleSize is the target subset size; the paper selects 200 jobs.
+	SampleSize int
+	// MaxPerTemplate caps how many times one recurring-job template may be
+	// selected (the paper's "threshold value to limit the number of times
+	// each type of job can be selected"). 0 means no cap.
+	MaxPerTemplate int
+	// Seed makes the sampling reproducible.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's setup.
+func DefaultConfig(seed int64) Config {
+	return Config{K: 8, SampleSize: 200, MaxPerTemplate: 3, Seed: seed}
+}
+
+// Result reports the selected subset and the quality diagnostics of
+// Figure 11 and the KS evaluation.
+type Result struct {
+	Selected []*jobrepo.Record
+	// Cluster-size proportions over the population, the pre-selected pool
+	// and the selected subset (Figure 11's three panels).
+	PopulationProportions []float64
+	PoolProportions       []float64
+	SelectedProportions   []float64
+	// KSBefore/KSAfter are mean per-feature KS statistics of pool vs
+	// population and selection vs population; selection succeeds when
+	// KSAfter < KSBefore.
+	KSBefore, KSAfter float64
+}
+
+// ClusterFeatures maps a record to the low-dimensional telemetry space the
+// population is clustered in: log run time, log observed tokens, log area
+// (total work), skyline peakiness, and log plan size.
+func ClusterFeatures(rec *jobrepo.Record) []float64 {
+	return []float64{
+		math.Log1p(float64(rec.RuntimeSeconds)),
+		math.Log1p(float64(rec.ObservedTokens)),
+		math.Log1p(float64(rec.Skyline.Area())),
+		rec.Skyline.Peakiness(),
+		math.Log1p(float64(rec.Job.NumOperators())),
+	}
+}
+
+// Select runs the four-step procedure: population is the full historical
+// workload, pool the pre-filtered candidates (step 1 is performed by the
+// caller through jobrepo.Filter, since constraints are deployment
+// specific).
+func Select(population, pool []*jobrepo.Record, cfg Config) (*Result, error) {
+	if len(population) == 0 {
+		return nil, errors.New("selection: empty population")
+	}
+	if len(pool) == 0 {
+		return nil, errors.New("selection: empty pre-selected pool")
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("selection: K = %d", cfg.K)
+	}
+	if cfg.K > len(population) {
+		return nil, fmt.Errorf("selection: K = %d > population %d", cfg.K, len(population))
+	}
+	if cfg.SampleSize < 1 {
+		return nil, fmt.Errorf("selection: sample size %d", cfg.SampleSize)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Step 2: cluster the population; standardize features first so no
+	// dimension dominates the distance metric.
+	popFeats := make([][]float64, len(population))
+	for i, rec := range population {
+		popFeats[i] = ClusterFeatures(rec)
+	}
+	scalers := fitScalers(popFeats)
+	for _, f := range popFeats {
+		applyScalers(scalers, f)
+	}
+	km, err := stats.KMeans(popFeats, cfg.K, 50, rng)
+	if err != nil {
+		return nil, fmt.Errorf("selection: clustering population: %w", err)
+	}
+	popProps := stats.ClusterProportions(km.Labels, cfg.K)
+
+	// Predict the cluster of each pool job.
+	poolLabels := make([]int, len(pool))
+	byCluster := make([][]int, cfg.K) // pool indices per cluster
+	for i, rec := range pool {
+		f := ClusterFeatures(rec)
+		applyScalers(scalers, f)
+		poolLabels[i] = km.Predict(f)
+		byCluster[poolLabels[i]] = append(byCluster[poolLabels[i]], i)
+	}
+	poolProps := stats.ClusterProportions(poolLabels, cfg.K)
+
+	// Step 3: stratified under-sampling proportional to population
+	// cluster sizes, with the per-template cap.
+	templateCount := make(map[string]int)
+	var selected []*jobrepo.Record
+	var selectedLabels []int
+	for c := 0; c < cfg.K; c++ {
+		want := int(math.Round(popProps[c] * float64(cfg.SampleSize)))
+		idxs := byCluster[c]
+		rng.Shuffle(len(idxs), func(i, j int) { idxs[i], idxs[j] = idxs[j], idxs[i] })
+		taken := 0
+		for _, pi := range idxs {
+			if taken >= want {
+				break
+			}
+			rec := pool[pi]
+			if cfg.MaxPerTemplate > 0 && rec.Job.Template != "" {
+				if templateCount[rec.Job.Template] >= cfg.MaxPerTemplate {
+					continue
+				}
+				templateCount[rec.Job.Template]++
+			}
+			selected = append(selected, rec)
+			selectedLabels = append(selectedLabels, c)
+			taken++
+		}
+	}
+	if len(selected) == 0 {
+		return nil, errors.New("selection: no jobs selected (pool incompatible with population strata)")
+	}
+
+	// Step 4: KS quality evaluation, mean over the feature dimensions.
+	ksBefore := meanKS(population, pool)
+	ksAfter := meanKS(population, selected)
+
+	return &Result{
+		Selected:              selected,
+		PopulationProportions: popProps,
+		PoolProportions:       poolProps,
+		SelectedProportions:   stats.ClusterProportions(selectedLabels, cfg.K),
+		KSBefore:              ksBefore,
+		KSAfter:               ksAfter,
+	}, nil
+}
+
+// meanKS computes the mean two-sample KS statistic across the cluster
+// feature dimensions between two record sets.
+func meanKS(a, b []*jobrepo.Record) float64 {
+	dims := len(ClusterFeatures(a[0]))
+	var total float64
+	for d := 0; d < dims; d++ {
+		fa := make([]float64, len(a))
+		fb := make([]float64, len(b))
+		for i, rec := range a {
+			fa[i] = ClusterFeatures(rec)[d]
+		}
+		for i, rec := range b {
+			fb[i] = ClusterFeatures(rec)[d]
+		}
+		total += stats.KSStatistic(fa, fb)
+	}
+	return total / float64(dims)
+}
+
+func fitScalers(feats [][]float64) []stats.Standardizer {
+	dims := len(feats[0])
+	out := make([]stats.Standardizer, dims)
+	col := make([]float64, len(feats))
+	for d := 0; d < dims; d++ {
+		for i, f := range feats {
+			col[i] = f[d]
+		}
+		out[d] = stats.FitStandardizer(col)
+	}
+	return out
+}
+
+func applyScalers(scalers []stats.Standardizer, f []float64) {
+	for d := range f {
+		f[d] = scalers[d].Transform(f[d])
+	}
+}

@@ -1,0 +1,190 @@
+package selection
+
+import (
+	"math"
+	"testing"
+
+	"tasq/internal/jobrepo"
+	"tasq/internal/scopesim"
+	"tasq/internal/stats"
+	"tasq/internal/workload"
+)
+
+func statsMedian(xs []float64) float64 { return stats.Median(xs) }
+
+// buildPopulation ingests a workload and returns population plus a skewed
+// pre-selection pool (over-representing one virtual cluster, as the
+// paper's pre-selection pool over-represents one group).
+func buildPopulation(t *testing.T, n int, seed int64) (pop, pool []*jobrepo.Record) {
+	t.Helper()
+	g := workload.New(workload.TestConfig(seed))
+	repo := jobrepo.New()
+	var ex scopesim.Executor
+	if err := repo.Ingest(g.Workload(n), &ex); err != nil {
+		t.Fatal(err)
+	}
+	pop = repo.All()
+	// Constrained pool: jobs above the median token request (step 1's
+	// filter), which skews the pool toward larger jobs.
+	toks := make([]float64, len(pop))
+	for i, rec := range pop {
+		toks[i] = float64(rec.ObservedTokens)
+	}
+	cut := int(statsMedian(toks))
+	for _, rec := range pop {
+		if rec.ObservedTokens >= cut {
+			pool = append(pool, rec)
+		}
+	}
+	if len(pool) < 10 {
+		t.Fatalf("pool too small (%d) for test", len(pool))
+	}
+	return pop, pool
+}
+
+func TestSelectErrors(t *testing.T) {
+	pop, pool := buildPopulation(t, 60, 1)
+	if _, err := Select(nil, pool, DefaultConfig(1)); err == nil {
+		t.Fatal("empty population accepted")
+	}
+	if _, err := Select(pop, nil, DefaultConfig(1)); err == nil {
+		t.Fatal("empty pool accepted")
+	}
+	if _, err := Select(pop, pool, Config{K: 0, SampleSize: 10}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := Select(pop, pool, Config{K: 1000, SampleSize: 10}); err == nil {
+		t.Fatal("K>population accepted")
+	}
+	if _, err := Select(pop, pool, Config{K: 4, SampleSize: 0}); err == nil {
+		t.Fatal("sample size 0 accepted")
+	}
+}
+
+func TestSelectBasicInvariants(t *testing.T) {
+	pop, pool := buildPopulation(t, 300, 2)
+	cfg := DefaultConfig(3)
+	cfg.SampleSize = 40
+	res, err := Select(pop, pool, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) == 0 || len(res.Selected) > cfg.SampleSize+cfg.K {
+		t.Fatalf("selected %d jobs for target %d", len(res.Selected), cfg.SampleSize)
+	}
+	// Every selected record must come from the pool.
+	inPool := map[*jobrepo.Record]bool{}
+	for _, rec := range pool {
+		inPool[rec] = true
+	}
+	seen := map[*jobrepo.Record]bool{}
+	for _, rec := range res.Selected {
+		if !inPool[rec] {
+			t.Fatal("selected record not in pool")
+		}
+		if seen[rec] {
+			t.Fatal("record selected twice")
+		}
+		seen[rec] = true
+	}
+	// Proportion vectors sum to ~1.
+	for name, props := range map[string][]float64{
+		"population": res.PopulationProportions,
+		"pool":       res.PoolProportions,
+		"selected":   res.SelectedProportions,
+	} {
+		var sum float64
+		for _, p := range props {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%s proportions sum to %v", name, sum)
+		}
+		if len(props) != cfg.K {
+			t.Fatalf("%s proportions have %d entries, want %d", name, len(props), cfg.K)
+		}
+	}
+}
+
+func TestSelectionImprovesRepresentativeness(t *testing.T) {
+	// The core §5.1 claim: stratified selection brings the subset's
+	// distribution closer to the population than the raw pool (lower KS).
+	pop, pool := buildPopulation(t, 500, 4)
+	cfg := DefaultConfig(5)
+	cfg.SampleSize = 60
+	res, err := Select(pop, pool, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KSAfter > res.KSBefore+0.05 {
+		t.Fatalf("selection worsened KS: before %.3f after %.3f", res.KSBefore, res.KSAfter)
+	}
+	// Selected proportions track population proportions more closely than
+	// the pool's do (Figure 11's visual claim), measured in L1.
+	l1 := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			s += math.Abs(a[i] - b[i])
+		}
+		return s
+	}
+	poolGap := l1(res.PoolProportions, res.PopulationProportions)
+	selGap := l1(res.SelectedProportions, res.PopulationProportions)
+	if selGap > poolGap+0.1 {
+		t.Fatalf("selected strata gap %.3f worse than pool gap %.3f", selGap, poolGap)
+	}
+}
+
+func TestMaxPerTemplateRespected(t *testing.T) {
+	pop, pool := buildPopulation(t, 400, 6)
+	cfg := DefaultConfig(7)
+	cfg.SampleSize = 80
+	cfg.MaxPerTemplate = 1
+	res, err := Select(pop, pool, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, rec := range res.Selected {
+		if rec.Job.Template == "" {
+			continue
+		}
+		counts[rec.Job.Template]++
+		if counts[rec.Job.Template] > 1 {
+			t.Fatalf("template %s selected %d times with cap 1", rec.Job.Template, counts[rec.Job.Template])
+		}
+	}
+}
+
+func TestSelectDeterministicPerSeed(t *testing.T) {
+	pop, pool := buildPopulation(t, 200, 8)
+	cfg := DefaultConfig(9)
+	cfg.SampleSize = 30
+	a, err := Select(pop, pool, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Select(pop, pool, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Selected) != len(b.Selected) {
+		t.Fatal("same seed gave different selection sizes")
+	}
+	for i := range a.Selected {
+		if a.Selected[i].Job.ID != b.Selected[i].Job.ID {
+			t.Fatal("same seed gave different selections")
+		}
+	}
+}
+
+func TestClusterFeaturesFinite(t *testing.T) {
+	pop, _ := buildPopulation(t, 30, 10)
+	for _, rec := range pop {
+		for i, f := range ClusterFeatures(rec) {
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				t.Fatalf("feature %d not finite: %v", i, f)
+			}
+		}
+	}
+}

@@ -1,0 +1,236 @@
+// Package serve implements the model-serving side of the TASQ system
+// integration (Figure 4): an HTTP scoring endpoint that accepts an
+// incoming job's compile-time information, featurizes it through the
+// trained pipeline and returns the predicted PCC, run-time estimates over
+// candidate token counts, and the optimal token recommendation. A typed Go
+// client mirrors the Python client for SCOPE.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"tasq/internal/pcc"
+	"tasq/internal/scopesim"
+	"tasq/internal/trainer"
+)
+
+// ScoreRequest is the scoring-pipeline input: the compile-time job
+// description plus optional what-if parameters.
+type ScoreRequest struct {
+	Job *scopesim.Job `json:"job"`
+	// CandidateTokens are token counts to tabulate run-time predictions
+	// for; defaults to a sweep up to the requested tokens.
+	CandidateTokens []int `json:"candidate_tokens,omitempty"`
+	// Threshold is the §2.1 optimal-allocation termination threshold
+	// (default 0.01: demand ≥1% improvement per extra token).
+	Threshold float64 `json:"threshold,omitempty"`
+	// MaxTokens caps the optimal-token search (default: requested tokens).
+	MaxTokens int `json:"max_tokens,omitempty"`
+}
+
+// CurveJSON is the serialized PCC.
+type CurveJSON struct {
+	A float64 `json:"a"`
+	B float64 `json:"b"`
+}
+
+// PointJSON is one predicted (tokens, runtime) pair.
+type PointJSON struct {
+	Tokens         int     `json:"tokens"`
+	RuntimeSeconds float64 `json:"runtime_seconds"`
+}
+
+// ScoreResponse is the scoring-pipeline output.
+type ScoreResponse struct {
+	Model         string      `json:"model"`
+	Curve         CurveJSON   `json:"curve"`
+	OptimalTokens int         `json:"optimal_tokens"`
+	Predictions   []PointJSON `json:"predictions"`
+}
+
+// Server scores jobs with a trained pipeline.
+type Server struct {
+	pipeline *trainer.Pipeline
+	mux      *http.ServeMux
+}
+
+// NewServer wraps a trained pipeline.
+func NewServer(p *trainer.Pipeline) (*Server, error) {
+	if p == nil {
+		return nil, errors.New("serve: nil pipeline")
+	}
+	s := &Server{pipeline: p, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/score", s.handleScore)
+	return s, nil
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		http.Error(w, "reading request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req ScoreRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, "decoding request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := s.score(&req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) score(req *ScoreRequest) (*ScoreResponse, error) {
+	if req.Job == nil {
+		return nil, errors.New("serve: request without job")
+	}
+	if err := req.Job.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: invalid job: %w", err)
+	}
+	curve, model, err := s.pipeline.ScoreJob(req.Job)
+	if err != nil {
+		return nil, fmt.Errorf("serve: scoring: %w", err)
+	}
+	threshold := req.Threshold
+	if threshold <= 0 {
+		threshold = 0.01
+	}
+	maxTokens := req.MaxTokens
+	if maxTokens <= 0 {
+		maxTokens = req.Job.RequestedTokens
+	}
+	if maxTokens <= 0 {
+		maxTokens = 1
+	}
+	resp := &ScoreResponse{
+		Model:         model,
+		Curve:         CurveJSON{A: curve.A, B: curve.B},
+		OptimalTokens: curve.OptimalTokens(1, maxTokens, threshold),
+	}
+	candidates := req.CandidateTokens
+	if len(candidates) == 0 {
+		candidates = defaultCandidates(maxTokens)
+	}
+	for _, tok := range candidates {
+		if tok < 1 {
+			return nil, fmt.Errorf("serve: candidate token count %d", tok)
+		}
+		resp.Predictions = append(resp.Predictions, PointJSON{
+			Tokens:         tok,
+			RuntimeSeconds: curve.Runtime(float64(tok)),
+		})
+	}
+	return resp, nil
+}
+
+// defaultCandidates spreads ten points over [1, max].
+func defaultCandidates(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	seen := map[int]bool{}
+	var out []int
+	for i := 1; i <= 10; i++ {
+		tok := max * i / 10
+		if tok < 1 {
+			tok = 1
+		}
+		if !seen[tok] {
+			seen[tok] = true
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Client calls a TASQ scoring service.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient builds a client with a sane default timeout.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// Health checks the service liveness endpoint.
+func (c *Client) Health() error {
+	resp, err := c.httpClient().Get(c.BaseURL + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: health status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Score submits a job for PCC prediction.
+func (c *Client) Score(req *ScoreRequest) (*ScoreResponse, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Post(c.BaseURL+"/v1/score", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: score status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var out ScoreResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, fmt.Errorf("serve: decoding response: %w", err)
+	}
+	return &out, nil
+}
+
+// Curve converts the response curve back to a pcc.Curve.
+func (r *ScoreResponse) CurveValue() pcc.Curve {
+	return pcc.Curve{A: r.Curve.A, B: r.Curve.B}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}

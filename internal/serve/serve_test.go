@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tasq/internal/jobrepo"
+	"tasq/internal/scopesim"
+	"tasq/internal/trainer"
+	"tasq/internal/workload"
+)
+
+// trainedServer spins up a scoring service over a small trained pipeline.
+func trainedServer(t *testing.T) (*httptest.Server, []*jobrepo.Record) {
+	t.Helper()
+	g := workload.New(workload.TestConfig(31))
+	repo := jobrepo.New()
+	var ex scopesim.Executor
+	if err := repo.Ingest(g.Workload(60), &ex); err != nil {
+		t.Fatal(err)
+	}
+	cfg := trainer.DefaultConfig(32)
+	cfg.XGB.NumTrees = 20
+	cfg.NN.Epochs = 20
+	cfg.SkipGNN = true
+	p, err := trainer.Train(repo.All(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, repo.All()
+}
+
+func TestNewServerNilPipeline(t *testing.T) {
+	if _, err := NewServer(nil); err == nil {
+		t.Fatal("nil pipeline accepted")
+	}
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	ts, _ := trainedServer(t)
+	client := NewClient(ts.URL)
+	if err := client.Health(); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong method.
+	resp, err := http.Post(ts.URL+"/healthz", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestScoreEndToEnd(t *testing.T) {
+	ts, recs := trainedServer(t)
+	client := NewClient(ts.URL)
+	job := recs[0].Job
+	resp, err := client.Score(&ScoreRequest{Job: job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Model == "" {
+		t.Fatal("no model name")
+	}
+	curve := resp.CurveValue()
+	if !curve.NonIncreasing() {
+		t.Fatalf("served curve not monotone: %+v", curve)
+	}
+	if resp.OptimalTokens < 1 || resp.OptimalTokens > job.RequestedTokens {
+		t.Fatalf("optimal tokens %d outside [1, %d]", resp.OptimalTokens, job.RequestedTokens)
+	}
+	if len(resp.Predictions) == 0 {
+		t.Fatal("no predictions")
+	}
+	prev := -1.0
+	for i, p := range resp.Predictions {
+		if p.RuntimeSeconds <= 0 {
+			t.Fatalf("prediction %d runtime %v", i, p.RuntimeSeconds)
+		}
+		if prev > 0 && p.RuntimeSeconds > prev {
+			t.Fatal("served predictions not non-increasing in tokens")
+		}
+		prev = p.RuntimeSeconds
+	}
+}
+
+func TestScoreWithCandidates(t *testing.T) {
+	ts, recs := trainedServer(t)
+	client := NewClient(ts.URL)
+	resp, err := client.Score(&ScoreRequest{
+		Job:             recs[1].Job,
+		CandidateTokens: []int{10, 50, 100},
+		Threshold:       0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Predictions) != 3 {
+		t.Fatalf("got %d predictions, want 3", len(resp.Predictions))
+	}
+	for i, want := range []int{10, 50, 100} {
+		if resp.Predictions[i].Tokens != want {
+			t.Fatalf("prediction %d tokens %d, want %d", i, resp.Predictions[i].Tokens, want)
+		}
+	}
+}
+
+func TestScoreBadRequests(t *testing.T) {
+	ts, recs := trainedServer(t)
+	client := NewClient(ts.URL)
+
+	if _, err := client.Score(&ScoreRequest{}); err == nil {
+		t.Fatal("missing job accepted")
+	}
+	if _, err := client.Score(&ScoreRequest{Job: recs[0].Job, CandidateTokens: []int{0}}); err == nil {
+		t.Fatal("zero candidate accepted")
+	}
+	invalid := &scopesim.Job{ID: "bad", Stages: []scopesim.Stage{{ID: 0, Tasks: 0, TaskSeconds: 1}}}
+	if _, err := client.Score(&ScoreRequest{Job: invalid}); err == nil {
+		t.Fatal("invalid job accepted")
+	}
+
+	// Garbage body.
+	resp, err := http.Post(ts.URL+"/v1/score", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body status %d", resp.StatusCode)
+	}
+	// Wrong method.
+	getResp, err := http.Get(ts.URL + "/v1/score")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/score status %d", getResp.StatusCode)
+	}
+}
+
+func TestClientAgainstDeadServer(t *testing.T) {
+	client := NewClient("http://127.0.0.1:1") // nothing listens here
+	if err := client.Health(); err == nil {
+		t.Fatal("health against dead server succeeded")
+	}
+	if _, err := client.Score(&ScoreRequest{}); err == nil {
+		t.Fatal("score against dead server succeeded")
+	}
+}
+
+func TestDefaultCandidates(t *testing.T) {
+	c := defaultCandidates(100)
+	if c[0] != 10 || c[len(c)-1] != 100 {
+		t.Fatalf("candidates %v", c)
+	}
+	tiny := defaultCandidates(1)
+	if len(tiny) != 1 || tiny[0] != 1 {
+		t.Fatalf("tiny candidates %v", tiny)
+	}
+	if got := defaultCandidates(0); len(got) != 1 {
+		t.Fatalf("zero-max candidates %v", got)
+	}
+}
+
+func TestScoreConcurrent(t *testing.T) {
+	ts, recs := trainedServer(t)
+	client := NewClient(ts.URL)
+	const workers = 8
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			job := recs[w%len(recs)].Job
+			for i := 0; i < 10; i++ {
+				if _, err := client.Score(&ScoreRequest{Job: job}); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

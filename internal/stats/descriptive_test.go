@@ -1,0 +1,222 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("mean = %v, want 5", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Fatalf("variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Fatalf("stddev = %v, want 2", got)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || Median(nil) != 0 {
+		t.Fatal("empty inputs must yield 0")
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Fatal("empty Min/Max must be infinities")
+	}
+	if Histogram(nil, 4) != nil {
+		t.Fatal("empty histogram must be nil")
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median = %v, want 2", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even median = %v, want 2.5", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {0.25, 20}, {0.5, 30}, {0.75, 40}, {1, 50}, {-1, 10}, {2, 50},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Fatalf("quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(40))
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := Quantile(xs, q)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMAEAndAPE(t *testing.T) {
+	pred := []float64{110, 90, 50}
+	truth := []float64{100, 100, 100}
+	if got := MAE(pred, truth); !almostEqual(got, (10+10+50)/3.0, 1e-12) {
+		t.Fatalf("MAE = %v", got)
+	}
+	if got := MedianAPE(pred, truth); !almostEqual(got, 0.1, 1e-12) {
+		t.Fatalf("MedianAPE = %v, want 0.1", got)
+	}
+	if got := MeanAPE(pred, truth); !almostEqual(got, 0.7/3, 1e-12) {
+		t.Fatalf("MeanAPE = %v", got)
+	}
+}
+
+func TestAbsPercentErrorsSkipsZeroTruth(t *testing.T) {
+	got := AbsPercentErrors([]float64{1, 2}, []float64{0, 4})
+	if len(got) != 1 || !almostEqual(got[0], 0.5, 1e-12) {
+		t.Fatalf("got %v, want [0.5]", got)
+	}
+}
+
+func TestMAEMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MAE([]float64{1}, []float64{1, 2})
+}
+
+func TestECDF(t *testing.T) {
+	xs := []float64{1, 2, 2, 3}
+	grid := []float64{0, 1, 2, 3, 4}
+	got := ECDF(xs, grid)
+	want := []float64{0, 0.25, 0.75, 1, 1}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Fatalf("ecdf = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestECDFProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(30))
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		grid := []float64{-10, -1, 0, 1, 10}
+		cdf := ECDF(xs, grid)
+		prev := 0.0
+		for _, v := range cdf {
+			if v < prev || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return cdf[len(cdf)-1] == 1 // grid max exceeds all samples
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	bins := Histogram(xs, 5)
+	if len(bins) != 5 {
+		t.Fatalf("got %d bins, want 5", len(bins))
+	}
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != len(xs) {
+		t.Fatalf("histogram counts %d, want %d", total, len(xs))
+	}
+	if bins[0].Count != 2 || bins[4].Count != 2 {
+		t.Fatalf("unexpected bin counts: %+v", bins)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	bins := Histogram([]float64{5, 5, 5}, 4)
+	if len(bins) != 1 || bins[0].Count != 3 {
+		t.Fatalf("degenerate histogram = %+v", bins)
+	}
+}
+
+func TestHistogramConservesCountProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(100))
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		n := 1 + rng.Intn(12)
+		total := 0
+		for _, b := range Histogram(xs, n) {
+			total += b.Count
+		}
+		return total == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStandardizerRoundTrip(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 100}
+	s := FitStandardizer(xs)
+	for _, x := range xs {
+		if got := s.Inverse(s.Transform(x)); !almostEqual(got, x, 1e-9) {
+			t.Fatalf("round trip %v -> %v", x, got)
+		}
+	}
+	z := make([]float64, len(xs))
+	for i, x := range xs {
+		z[i] = s.Transform(x)
+	}
+	if !almostEqual(Mean(z), 0, 1e-9) || !almostEqual(StdDev(z), 1, 1e-9) {
+		t.Fatalf("standardized mean/std = %v/%v", Mean(z), StdDev(z))
+	}
+}
+
+func TestStandardizerConstantInput(t *testing.T) {
+	s := FitStandardizer([]float64{7, 7, 7})
+	if got := s.Transform(7); got != 0 {
+		t.Fatalf("transform of constant = %v, want 0", got)
+	}
+	if got := s.Transform(8); math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("constant-input standardizer must stay finite, got %v", got)
+	}
+}

@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KMeansResult holds the outcome of a k-means run.
+type KMeansResult struct {
+	Centroids  [][]float64 // k centroids, each of dimension d
+	Labels     []int       // cluster index per input point
+	Inertia    float64     // sum of squared distances to assigned centroids
+	Iterations int         // iterations until convergence (or the cap)
+}
+
+// KMeans clusters points (n x d) into k clusters using Lloyd's algorithm
+// with k-means++ seeding. The rng makes runs reproducible. maxIter bounds
+// the number of Lloyd iterations (25 is plenty for the workloads here).
+func KMeans(points [][]float64, k, maxIter int, rng *rand.Rand) (*KMeansResult, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("stats: kmeans on empty input")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("stats: kmeans k=%d < 1", k)
+	}
+	if k > n {
+		return nil, fmt.Errorf("stats: kmeans k=%d > n=%d", k, n)
+	}
+	d := len(points[0])
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("stats: kmeans point %d has dimension %d, want %d", i, len(p), d)
+		}
+	}
+	if maxIter < 1 {
+		maxIter = 25
+	}
+
+	centroids := seedPlusPlus(points, k, rng)
+	labels := make([]int, n)
+	var iter int
+	for iter = 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestDist := 0, math.Inf(1)
+			for c, cent := range centroids {
+				if dist := sqDist(p, cent); dist < bestDist {
+					best, bestDist = c, dist
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids; an emptied cluster keeps its old centroid.
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = make([]float64, d)
+		}
+		for i, p := range points {
+			c := labels[i]
+			counts[c]++
+			for j, v := range p {
+				sums[c][j] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue
+			}
+			for j := range centroids[c] {
+				centroids[c][j] = sums[c][j] / float64(counts[c])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	var inertia float64
+	for i, p := range points {
+		inertia += sqDist(p, centroids[labels[i]])
+	}
+	return &KMeansResult{Centroids: centroids, Labels: labels, Inertia: inertia, Iterations: iter}, nil
+}
+
+// Predict returns the index of the nearest centroid to p.
+func (r *KMeansResult) Predict(p []float64) int {
+	best, bestDist := 0, math.Inf(1)
+	for c, cent := range r.Centroids {
+		if dist := sqDist(p, cent); dist < bestDist {
+			best, bestDist = c, dist
+		}
+	}
+	return best
+}
+
+// ClusterProportions returns the fraction of labels assigned to each of the
+// k clusters.
+func ClusterProportions(labels []int, k int) []float64 {
+	out := make([]float64, k)
+	if len(labels) == 0 {
+		return out
+	}
+	for _, l := range labels {
+		if l >= 0 && l < k {
+			out[l]++
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(labels))
+	}
+	return out
+}
+
+// seedPlusPlus implements k-means++ initialization: the first centroid is
+// uniform-random, each subsequent one is sampled proportional to squared
+// distance from the nearest chosen centroid.
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(points)
+	centroids := make([][]float64, 0, k)
+	first := append([]float64(nil), points[rng.Intn(n)]...)
+	centroids = append(centroids, first)
+	dists := make([]float64, n)
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			d := math.Inf(1)
+			for _, c := range centroids {
+				if dd := sqDist(p, c); dd < d {
+					d = dd
+				}
+			}
+			dists[i] = d
+			total += d
+		}
+		var idx int
+		if total <= 0 {
+			idx = rng.Intn(n) // all points identical to centroids
+		} else {
+			r := rng.Float64() * total
+			for i, d := range dists {
+				r -= d
+				if r <= 0 {
+					idx = i
+					break
+				}
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[idx]...))
+	}
+	return centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

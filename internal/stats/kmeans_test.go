@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// threeBlobs returns well-separated clusters for deterministic assertions.
+func threeBlobs(rng *rand.Rand, perCluster int) ([][]float64, []int) {
+	centers := [][]float64{{0, 0}, {10, 10}, {-10, 10}}
+	var pts [][]float64
+	var truth []int
+	for c, center := range centers {
+		for i := 0; i < perCluster; i++ {
+			pts = append(pts, []float64{
+				center[0] + rng.NormFloat64()*0.5,
+				center[1] + rng.NormFloat64()*0.5,
+			})
+			truth = append(truth, c)
+		}
+	}
+	return pts, truth
+}
+
+func TestKMeansSeparatedBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pts, truth := threeBlobs(rng, 30)
+	res, err := KMeans(pts, 3, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All points with the same true label must share a predicted label.
+	for c := 0; c < 3; c++ {
+		var label = -1
+		for i := range pts {
+			if truth[i] != c {
+				continue
+			}
+			if label == -1 {
+				label = res.Labels[i]
+			} else if res.Labels[i] != label {
+				t.Fatalf("cluster %d split across labels", c)
+			}
+		}
+	}
+	if res.Inertia > float64(len(pts)) { // ~0.5 stddev blobs: inertia per point << 1
+		t.Fatalf("inertia %v too high for separated blobs", res.Inertia)
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := KMeans(nil, 2, 10, rng); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+	if _, err := KMeans([][]float64{{1}}, 0, 10, rng); err == nil {
+		t.Fatal("expected error on k<1")
+	}
+	if _, err := KMeans([][]float64{{1}}, 2, 10, rng); err == nil {
+		t.Fatal("expected error on k>n")
+	}
+	if _, err := KMeans([][]float64{{1, 2}, {1}}, 1, 10, rng); err == nil {
+		t.Fatal("expected error on ragged input")
+	}
+}
+
+func TestKMeansPredictConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts, _ := threeBlobs(rng, 20)
+	res, err := KMeans(pts, 3, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if got := res.Predict(p); got != res.Labels[i] {
+			t.Fatalf("Predict(point %d) = %d, label = %d", i, got, res.Labels[i])
+		}
+	}
+}
+
+func TestKMeansLabelsInRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		}
+		k := 1 + rng.Intn(3)
+		res, err := KMeans(pts, k, 25, rng)
+		if err != nil {
+			return false
+		}
+		for _, l := range res.Labels {
+			if l < 0 || l >= k {
+				return false
+			}
+		}
+		props := ClusterProportions(res.Labels, k)
+		var sum float64
+		for _, p := range props {
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterProportionsEmpty(t *testing.T) {
+	props := ClusterProportions(nil, 3)
+	for _, p := range props {
+		if p != 0 {
+			t.Fatal("empty labels must give zero proportions")
+		}
+	}
+}
+
+func TestKSStatisticIdenticalSamples(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := KSStatistic(xs, xs); got != 0 {
+		t.Fatalf("KS(same, same) = %v, want 0", got)
+	}
+}
+
+func TestKSStatisticDisjointSamples(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	if got := KSStatistic(a, b); got != 1 {
+		t.Fatalf("KS(disjoint) = %v, want 1", got)
+	}
+}
+
+func TestKSStatisticKnownValue(t *testing.T) {
+	// a = {1,2,3,4}, b = {3,4,5,6}: max CDF gap at x=2 is |0.5 − 0| = 0.5.
+	a := []float64{1, 2, 3, 4}
+	b := []float64{3, 4, 5, 6}
+	if got := KSStatistic(a, b); !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("KS = %v, want 0.5", got)
+	}
+}
+
+func TestKSStatisticEmpty(t *testing.T) {
+	if KSStatistic(nil, []float64{1}) != 1 {
+		t.Fatal("empty sample must give KS = 1")
+	}
+}
+
+func TestKSStatisticSymmetryAndRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, 1+rng.Intn(30))
+		b := make([]float64, 1+rng.Intn(30))
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64() + 0.5
+		}
+		d1, d2 := KSStatistic(a, b), KSStatistic(b, a)
+		return math.Abs(d1-d2) < 1e-12 && d1 >= 0 && d1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKSPValueBehavior(t *testing.T) {
+	// Small statistic on large samples → high p; large statistic → low p.
+	if p := KSPValue(0.01, 1000, 1000); p < 0.9 {
+		t.Fatalf("p for tiny d = %v, want near 1", p)
+	}
+	if p := KSPValue(0.9, 1000, 1000); p > 1e-6 {
+		t.Fatalf("p for huge d = %v, want near 0", p)
+	}
+	if p := KSPValue(0.5, 0, 10); p != 0 {
+		t.Fatalf("p with empty sample = %v, want 0", p)
+	}
+}
+
+func TestKSSameDistributionSmallStat(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := make([]float64, 500)
+	b := make([]float64, 500)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	if d := KSStatistic(a, b); d > 0.15 {
+		t.Fatalf("KS between same-distribution samples = %v, want small", d)
+	}
+}

@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSStatistic returns the two-sample Kolmogorov–Smirnov statistic between
+// samples a and b: the supremum of the absolute difference between their
+// empirical CDFs. A lower value means the distributions are closer. Returns
+// 1 if either sample is empty (maximal distance by convention).
+func KSStatistic(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 1
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	var i, j int
+	var d float64
+	na, nb := float64(len(as)), float64(len(bs))
+	for i < len(as) && j < len(bs) {
+		x := math.Min(as[i], bs[j])
+		for i < len(as) && as[i] <= x {
+			i++
+		}
+		for j < len(bs) && bs[j] <= x {
+			j++
+		}
+		if diff := math.Abs(float64(i)/na - float64(j)/nb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// KSPValue approximates the asymptotic p-value of the two-sample KS test
+// for statistic d with sample sizes n and m, using the Kolmogorov
+// distribution's series expansion. Small p means the samples likely come
+// from different distributions.
+func KSPValue(d float64, n, m int) float64 {
+	if n == 0 || m == 0 {
+		return 0
+	}
+	ne := float64(n*m) / float64(n+m)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	// Q_KS(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}
+	var sum float64
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k*k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}

@@ -1,0 +1,109 @@
+package trainer
+
+import (
+	"math"
+	"testing"
+
+	"tasq/internal/flight"
+	"tasq/internal/jobrepo"
+	"tasq/internal/pcc"
+	"tasq/internal/scopesim"
+)
+
+func TestEvaluateFlightedAndWorkloadSavings(t *testing.T) {
+	train, test := dataset(t, 120, 60, 8)
+	p, err := Train(train, fastConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ex scopesim.Executor
+	ds, err := flight.Execute(test, &ex, flight.DefaultConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	evals, err := p.EvaluateFlighted(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evals) != 4 {
+		t.Fatalf("got %d rows, want 4", len(evals))
+	}
+	byModel := map[string]ModelEval{}
+	for _, e := range evals {
+		byModel[e.Model] = e
+		if e.Pattern < 0 || e.Pattern > 1 {
+			t.Fatalf("%s pattern %v", e.Model, e.Pattern)
+		}
+	}
+	if byModel[ModelNN].Pattern != 1 || byModel[ModelGNN].Pattern != 1 {
+		t.Fatal("NN/GNN must stay 100% monotone on flighted data")
+	}
+	if !math.IsNaN(byModel[ModelXGBSS].ParamMAE) {
+		t.Fatal("SS ParamMAE must be NaN")
+	}
+	for _, name := range []string{ModelXGBPL, ModelNN, ModelGNN} {
+		if math.IsNaN(byModel[name].ParamMAE) {
+			t.Fatalf("%s ParamMAE NaN", name)
+		}
+		if byModel[name].RuntimeMedianAE <= 0 {
+			t.Fatalf("%s runtime error %v", name, byModel[name].RuntimeMedianAE)
+		}
+	}
+
+	// Workload savings with the GNN curve (the paper's §5.4 analysis).
+	savings, err := EvaluateWorkloadSavings(ds, p.PredictCurveGNN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(savings) != 2 || savings[0].Name != "W1" || savings[1].Name != "W2" {
+		t.Fatalf("savings rows: %+v", savings)
+	}
+	for _, w := range savings {
+		// Sub-peak workloads save tokens relative to the baseline and
+		// never speed the workload up.
+		if w.TokenSavings <= 0 || w.TokenSavings >= 1 {
+			t.Fatalf("%s token savings %v", w.Name, w.TokenSavings)
+		}
+		if w.ActualSlowdown < -0.15 {
+			t.Fatalf("%s actual slowdown %v (workload sped up?)", w.Name, w.ActualSlowdown)
+		}
+		if w.Tokens >= w.BaselineTokens {
+			t.Fatalf("%s tokens %d not below baseline %d", w.Name, w.Tokens, w.BaselineTokens)
+		}
+	}
+	// W1 (includes the aggressive 20% flights) saves more tokens than W2
+	// (second-largest allocations only).
+	if savings[0].TokenSavings <= savings[1].TokenSavings {
+		t.Fatalf("W1 savings %v not above W2 %v", savings[0].TokenSavings, savings[1].TokenSavings)
+	}
+
+	if _, err := p.EvaluateFlighted(nil); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+	if _, err := EvaluateWorkloadSavings(nil, p.PredictCurveGNN); err == nil {
+		t.Fatal("nil dataset accepted in savings")
+	}
+}
+
+func TestEvaluateWorkloadSavingsPropagatesCurveError(t *testing.T) {
+	train, test := dataset(t, 30, 10, 11)
+	_ = train
+	var ex scopesim.Executor
+	ds, err := flight.Execute(test, &ex, flight.DefaultConfig(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErr := func(*jobrepo.Record) (pcc.Curve, error) {
+		return pcc.Curve{}, errTest
+	}
+	if _, err := EvaluateWorkloadSavings(ds, wantErr); err == nil {
+		t.Fatal("curve error swallowed")
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test error" }

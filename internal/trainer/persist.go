@@ -1,0 +1,60 @@
+package trainer
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The pipeline persists as a single gob stream — the "model binary" of the
+// paper's Figure 4 model store. All reachable state (boosted trees, neural
+// weights, scalers, parameter scaling, configuration) round-trips.
+
+// SavePipeline writes the pipeline to w.
+func SavePipeline(p *Pipeline, w io.Writer) error {
+	if p == nil {
+		return errors.New("trainer: nil pipeline")
+	}
+	if err := gob.NewEncoder(w).Encode(p); err != nil {
+		return fmt.Errorf("trainer: encoding pipeline: %w", err)
+	}
+	return nil
+}
+
+// LoadPipeline reads a pipeline from r.
+func LoadPipeline(r io.Reader) (*Pipeline, error) {
+	var p Pipeline
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("trainer: decoding pipeline: %w", err)
+	}
+	if p.XGB == nil || p.JobScaler == nil {
+		return nil, errors.New("trainer: decoded pipeline is incomplete")
+	}
+	return &p, nil
+}
+
+// SavePipelineFile writes the pipeline to a file.
+func SavePipelineFile(p *Pipeline, path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return SavePipeline(p, f)
+}
+
+// LoadPipelineFile reads a pipeline from a file.
+func LoadPipelineFile(path string) (*Pipeline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadPipeline(f)
+}

@@ -1,0 +1,91 @@
+package trainer
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPipelinePersistenceRoundTrip(t *testing.T) {
+	train, test := dataset(t, 60, 20, 21)
+	cfg := fastConfig(22)
+	cfg.GNN.Epochs = 2
+	p, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := SavePipeline(p, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPipeline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Predictions must be bit-identical after the round trip.
+	for _, rec := range test {
+		a1, _, err := p.ScoreJob(rec.Job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, _, err := loaded.ScoreJob(rec.Job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a1.A != a2.A || a1.B != a2.B {
+			t.Fatalf("NN curve changed: %+v vs %+v", a1, a2)
+		}
+		if x1, x2 := p.XGB.PredictRuntime(rec.Job, rec.ObservedTokens), loaded.XGB.PredictRuntime(rec.Job, rec.ObservedTokens); x1 != x2 {
+			t.Fatalf("XGBoost prediction changed: %v vs %v", x1, x2)
+		}
+		g1 := p.GNN.PredictTarget(rec.Job)
+		g2 := loaded.GNN.PredictTarget(rec.Job)
+		if g1.A != g2.A || math.Abs(g1.LogB-g2.LogB) > 1e-12 {
+			t.Fatalf("GNN params changed: %+v vs %+v", g1, g2)
+		}
+	}
+	// Scaling survives.
+	if loaded.Scaling.A.Mean != p.Scaling.A.Mean || loaded.Scaling.LogB.Std != p.Scaling.LogB.Std {
+		t.Fatal("param scaling changed")
+	}
+}
+
+func TestPipelinePersistenceFile(t *testing.T) {
+	train, _ := dataset(t, 40, 0, 23)
+	cfg := fastConfig(24)
+	cfg.SkipGNN = true
+	p, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := SavePipelineFile(p, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPipelineFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.GNN != nil {
+		t.Fatal("skipped GNN reappeared")
+	}
+	if loaded.NN == nil {
+		t.Fatal("NN lost")
+	}
+	if _, err := LoadPipelineFile(filepath.Join(t.TempDir(), "missing.gob")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadPipelineRejectsGarbage(t *testing.T) {
+	if _, err := LoadPipeline(strings.NewReader("junk")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := SavePipeline(nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("nil pipeline accepted")
+	}
+}

@@ -1,0 +1,244 @@
+package trainer
+
+import (
+	"errors"
+
+	"tasq/internal/arepas"
+	"tasq/internal/features"
+	"tasq/internal/jobrepo"
+	"tasq/internal/ml/gbt"
+	"tasq/internal/ml/linalg"
+	"tasq/internal/pcc"
+	"tasq/internal/scopesim"
+)
+
+// Config controls the end-to-end pipeline.
+type Config struct {
+	// TargetFractions define the AREPAS sweep used to synthesize PCC
+	// targets; defaults to arepas.GridFractions.
+	TargetFractions []float64
+	// XGB configures the boosted-tree model; zero values take gbt
+	// defaults with the Gamma objective.
+	XGB gbt.Config
+	// NN and GNN configure the neural models.
+	NN, GNN NeuralConfig
+	// SkipNN / SkipGNN disable the respective model (the GNN is by far
+	// the most expensive to train — Table 7).
+	SkipNN, SkipGNN bool
+	// SplineLambda is the smoothing parameter for XGBoost SS curves.
+	SplineLambda float64
+	Seed         int64
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		TargetFractions: arepas.GridFractions,
+		XGB: gbt.Config{
+			NumTrees: 120, MaxDepth: 6, LearningRate: 0.1,
+			Subsample: 0.9, Objective: gbt.Gamma, Seed: seed,
+		},
+		NN:           NeuralConfig{Loss: LF2, Seed: seed},
+		GNN:          NeuralConfig{Loss: LF2, Epochs: 25, LearningRate: 0.003, Seed: seed},
+		SplineLambda: 50,
+		Seed:         seed,
+	}
+}
+
+// Pipeline is a trained TASQ model suite.
+type Pipeline struct {
+	Config    Config
+	Scaling   ParamScaling
+	JobScaler *features.Scaler
+	OpScaler  *features.Scaler
+	XGB       *XGBModel
+	NN        *NNModel
+	GNN       *GNNModel
+	// TrainTargets are the AREPAS-derived PCC targets of the training
+	// set, index-aligned with the training records.
+	TrainTargets []Target
+}
+
+// Train builds targets, fits scalers and trains the configured models on
+// the historical records.
+func Train(recs []*jobrepo.Record, cfg Config) (*Pipeline, error) {
+	if len(recs) == 0 {
+		return nil, errors.New("trainer: empty training set")
+	}
+	if len(cfg.TargetFractions) == 0 {
+		cfg.TargetFractions = arepas.GridFractions
+	}
+	if cfg.SplineLambda <= 0 {
+		cfg.SplineLambda = 50
+	}
+	if cfg.XGB.Objective != gbt.Gamma {
+		cfg.XGB.Objective = gbt.Gamma
+	}
+
+	p := &Pipeline{Config: cfg}
+
+	// PCC targets via AREPAS augmentation.
+	p.TrainTargets = make([]Target, len(recs))
+	for i, rec := range recs {
+		t, err := BuildTarget(rec, cfg.TargetFractions)
+		if err != nil {
+			return nil, err
+		}
+		p.TrainTargets[i] = t
+	}
+	p.Scaling = FitParamScaling(p.TrainTargets)
+
+	// Feature scalers fitted on training data only.
+	p.JobScaler = features.FitScaler(features.JobMatrix(jobsOf(recs)))
+	p.OpScaler = features.FitScaler(stackOperatorRows(recs))
+
+	// XGBoost (always trained: the PCC baselines and LF3 depend on it).
+	xgb, err := trainXGB(recs, p.JobScaler, cfg.XGB)
+	if err != nil {
+		return nil, err
+	}
+	p.XGB = xgb
+
+	// XGBoost predictions at the observed token counts, for LF3.
+	var xgbPreds []float64
+	if needsXGBPreds(cfg) {
+		xgbPreds = make([]float64, len(recs))
+		for i, rec := range recs {
+			xgbPreds[i] = xgb.PredictRuntime(rec.Job, rec.ObservedTokens)
+		}
+	}
+
+	if !cfg.SkipNN {
+		nnCfg := cfg.NN
+		nnCfg.Seed = pickSeed(nnCfg.Seed, cfg.Seed)
+		p.NN, err = trainNN(recs, p.TrainTargets, p.JobScaler, p.Scaling, lf3Preds(nnCfg, xgbPreds), nnCfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !cfg.SkipGNN {
+		gnnCfg := cfg.GNN
+		gnnCfg.Seed = pickSeed(gnnCfg.Seed, cfg.Seed)
+		p.GNN, err = trainGNN(recs, p.TrainTargets, p.OpScaler, p.Scaling, lf3Preds(gnnCfg, xgbPreds), gnnCfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+func needsXGBPreds(cfg Config) bool {
+	return (!cfg.SkipNN && cfg.NN.Loss == LF3) || (!cfg.SkipGNN && cfg.GNN.Loss == LF3)
+}
+
+func lf3Preds(cfg NeuralConfig, preds []float64) []float64 {
+	if cfg.Loss == LF3 {
+		return preds
+	}
+	return nil
+}
+
+func pickSeed(own, fallback int64) int64 {
+	if own != 0 {
+		return own
+	}
+	return fallback
+}
+
+func jobsOf(recs []*jobrepo.Record) []*scopesim.Job {
+	out := make([]*scopesim.Job, len(recs))
+	for i, rec := range recs {
+		out[i] = rec.Job
+	}
+	return out
+}
+
+// stackOperatorRows concatenates every training job's operator feature
+// rows into one matrix for fitting the operator-level scaler.
+func stackOperatorRows(recs []*jobrepo.Record) *linalg.Matrix {
+	var total int
+	for _, rec := range recs {
+		total += rec.Job.NumOperators()
+	}
+	out := linalg.New(total, features.OperatorDim)
+	row := 0
+	for _, rec := range recs {
+		m := features.OperatorMatrix(rec.Job)
+		for i := 0; i < m.Rows; i++ {
+			copy(out.Row(row), m.Row(i))
+			row++
+		}
+	}
+	return out
+}
+
+// PredictCurveNN returns the NN's predicted PCC for a job record.
+func (p *Pipeline) PredictCurveNN(rec *jobrepo.Record) (pcc.Curve, error) {
+	if p.NN == nil {
+		return pcc.Curve{}, errors.New("trainer: NN not trained")
+	}
+	return p.NN.PredictTarget(rec.Job).Curve(), nil
+}
+
+// PredictCurveGNN returns the GNN's predicted PCC for a job record.
+func (p *Pipeline) PredictCurveGNN(rec *jobrepo.Record) (pcc.Curve, error) {
+	if p.GNN == nil {
+		return pcc.Curve{}, errors.New("trainer: GNN not trained")
+	}
+	return p.GNN.PredictTarget(rec.Job).Curve(), nil
+}
+
+// PredictCurveXGBPL returns the XGBoost power-law PCC for a job record,
+// constructed around its observed token count.
+func (p *Pipeline) PredictCurveXGBPL(rec *jobrepo.Record) (pcc.Curve, error) {
+	return p.XGB.PredictCurvePL(rec.Job, rec.ObservedTokens)
+}
+
+// PredictCurveXGBSS returns the XGBoost smoothing-spline curve: the ±40%
+// token grid around the observed token count and smoothed run times.
+func (p *Pipeline) PredictCurveXGBSS(rec *jobrepo.Record) (grid []int, runtimes []float64, err error) {
+	return p.XGB.PredictCurveSS(rec.Job, rec.ObservedTokens, p.Config.SplineLambda)
+}
+
+// ScoreJob predicts a PCC for an incoming job from compile-time
+// information alone — the scoring path of Figure 4. The preferred model is
+// the NN (Table 7's recommended balance), falling back to GNN, then
+// XGBoost PL anchored at the job's requested tokens.
+func (p *Pipeline) ScoreJob(job *scopesim.Job) (pcc.Curve, string, error) {
+	switch {
+	case p.NN != nil:
+		return p.NN.PredictTarget(job).Curve(), ModelNN, nil
+	case p.GNN != nil:
+		return p.GNN.PredictTarget(job).Curve(), ModelGNN, nil
+	default:
+		ref := job.RequestedTokens
+		if ref < 1 {
+			ref = 1
+		}
+		c, err := p.XGB.PredictCurvePL(job, ref)
+		return c, ModelXGBPL, err
+	}
+}
+
+// OptimalTokens runs the §2.1 rule on the preferred (NN if present, else
+// GNN, else XGBoost PL) predicted curve: the smallest allocation whose
+// marginal gain per token falls below threshold.
+func (p *Pipeline) OptimalTokens(rec *jobrepo.Record, maxTokens int, threshold float64) (int, error) {
+	var curve pcc.Curve
+	var err error
+	switch {
+	case p.NN != nil:
+		curve, err = p.PredictCurveNN(rec)
+	case p.GNN != nil:
+		curve, err = p.PredictCurveGNN(rec)
+	default:
+		curve, err = p.PredictCurveXGBPL(rec)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if maxTokens <= 0 {
+		maxTokens = rec.ObservedTokens
+	}
+	return curve.OptimalTokens(1, maxTokens, threshold), nil
+}

@@ -1,0 +1,108 @@
+package trainer
+
+import (
+	"errors"
+	"fmt"
+
+	"tasq/internal/jobrepo"
+)
+
+// TuneResult reports the outcome of the LF2 weight-tuning procedure.
+type TuneResult struct {
+	// Weight is the selected run-time penalization weight.
+	Weight float64
+	// LF1ParamMAE is the reference parameter error of the pure LF1 model.
+	LF1ParamMAE float64
+	// Candidates records every evaluated weight with its metrics,
+	// heaviest first.
+	Candidates []TuneCandidate
+}
+
+// TuneCandidate is one evaluated weight.
+type TuneCandidate struct {
+	Weight          float64
+	ParamMAE        float64
+	RuntimeMedianAE float64
+	Accepted        bool
+}
+
+// TuneLF2Weight implements the paper's §4.5/§5.3 tuning procedure: "We
+// tuned the penalization weights, so that the MAE of the curve parameters
+// in LF2 is close to that of LF1." It trains an LF1 reference NN, then
+// walks the candidate weights from heaviest (best run-time accuracy) to
+// lightest and selects the heaviest weight whose validation parameter MAE
+// stays within tolerance (fractional, e.g. 0.1 = 10%) of the LF1
+// reference. Falls back to the lightest candidate when none qualifies.
+func TuneLF2Weight(train, validation []*jobrepo.Record, base Config, weights []float64, tolerance float64) (*TuneResult, error) {
+	if len(train) == 0 || len(validation) == 0 {
+		return nil, errors.New("trainer: tuning needs train and validation sets")
+	}
+	if len(weights) == 0 {
+		weights = []float64{1.5, 1.0, 0.5, 0.25, 0.1}
+	}
+	if tolerance <= 0 {
+		tolerance = 0.10
+	}
+	// Heaviest first: we want the most run-time-accurate acceptable weight.
+	sorted := append([]float64(nil), weights...)
+	for i := 0; i < len(sorted); i++ {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] > sorted[i] {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+
+	evalNN := func(loss LossKind, weight float64) (ModelEval, error) {
+		cfg := base
+		cfg.SkipGNN = true
+		cfg.NN.Loss = loss
+		if weight > 0 {
+			cfg.NN.RuntimeWeight = weight
+		}
+		p, err := Train(train, cfg)
+		if err != nil {
+			return ModelEval{}, err
+		}
+		evals, err := p.EvaluateHistorical(validation)
+		if err != nil {
+			return ModelEval{}, err
+		}
+		for _, e := range evals {
+			if e.Model == ModelNN {
+				return e, nil
+			}
+		}
+		return ModelEval{}, fmt.Errorf("trainer: NN row missing from evaluation")
+	}
+
+	ref, err := evalNN(LF1, 0)
+	if err != nil {
+		return nil, err
+	}
+	res := &TuneResult{LF1ParamMAE: ref.ParamMAE}
+	bound := ref.ParamMAE * (1 + tolerance)
+
+	selected := false
+	for _, w := range sorted {
+		e, err := evalNN(LF2, w)
+		if err != nil {
+			return nil, err
+		}
+		cand := TuneCandidate{Weight: w, ParamMAE: e.ParamMAE, RuntimeMedianAE: e.RuntimeMedianAE}
+		if !selected && e.ParamMAE <= bound {
+			cand.Accepted = true
+			res.Weight = w
+			selected = true
+		}
+		res.Candidates = append(res.Candidates, cand)
+	}
+	if !selected {
+		// Every weight degrades parameters beyond tolerance; take the
+		// lightest (last) as the least-damaging option.
+		last := &res.Candidates[len(res.Candidates)-1]
+		last.Accepted = true
+		res.Weight = last.Weight
+	}
+	return res, nil
+}

@@ -1,0 +1,59 @@
+package trainer
+
+import "testing"
+
+func TestTuneLF2WeightErrors(t *testing.T) {
+	train, _ := dataset(t, 20, 0, 41)
+	if _, err := TuneLF2Weight(nil, train, fastConfig(1), nil, 0.1); err == nil {
+		t.Fatal("empty train accepted")
+	}
+	if _, err := TuneLF2Weight(train, nil, fastConfig(1), nil, 0.1); err == nil {
+		t.Fatal("empty validation accepted")
+	}
+}
+
+func TestTuneLF2WeightSelectsWithinTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains several NNs")
+	}
+	train, val := dataset(t, 150, 60, 42)
+	cfg := fastConfig(43)
+	cfg.NN.Epochs = 40
+	res, err := TuneLF2Weight(train, val, cfg, []float64{1.0, 0.5, 0.1}, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight <= 0 {
+		t.Fatalf("no weight selected: %+v", res)
+	}
+	if len(res.Candidates) != 3 {
+		t.Fatalf("evaluated %d candidates", len(res.Candidates))
+	}
+	// Candidates are ordered heaviest first, exactly one accepted.
+	accepted := 0
+	for i := 1; i < len(res.Candidates); i++ {
+		if res.Candidates[i].Weight > res.Candidates[i-1].Weight {
+			t.Fatal("candidates not sorted heaviest-first")
+		}
+	}
+	for _, c := range res.Candidates {
+		if c.Accepted {
+			accepted++
+			if c.Weight != res.Weight {
+				t.Fatal("accepted candidate disagrees with result")
+			}
+		}
+	}
+	if accepted != 1 {
+		t.Fatalf("%d accepted candidates", accepted)
+	}
+	// The selection criterion: the accepted weight's parameter MAE is
+	// within tolerance of LF1 unless it is the fallback lightest weight.
+	for _, c := range res.Candidates {
+		if c.Accepted && c.Weight != res.Candidates[len(res.Candidates)-1].Weight {
+			if c.ParamMAE > res.LF1ParamMAE*1.15+1e-12 {
+				t.Fatalf("accepted weight violates tolerance: %+v vs LF1 %v", c, res.LF1ParamMAE)
+			}
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package workload
+
+import (
+	"testing"
+
+	"tasq/internal/scopesim"
+	"tasq/internal/stats"
+)
+
+func TestGeneratedJobsAreValid(t *testing.T) {
+	g := New(TestConfig(1))
+	for _, j := range g.Workload(200) {
+		if err := j.Validate(); err != nil {
+			t.Fatalf("generated invalid job: %v", err)
+		}
+		if j.RequestedTokens < 1 {
+			t.Fatalf("job %s requested %d tokens", j.ID, j.RequestedTokens)
+		}
+		if j.NumOperators() == 0 || j.NumStages() == 0 {
+			t.Fatalf("job %s is empty", j.ID)
+		}
+	}
+}
+
+func TestGeneratorDeterministicPerSeed(t *testing.T) {
+	a := New(TestConfig(42)).Workload(20)
+	b := New(TestConfig(42)).Workload(20)
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].NumStages() != b[i].NumStages() ||
+			a[i].RequestedTokens != b[i].RequestedTokens || a[i].TotalWork() != b[i].TotalWork() {
+			t.Fatalf("job %d differs between same-seed generators", i)
+		}
+	}
+	c := New(TestConfig(43)).Workload(20)
+	same := true
+	for i := range a {
+		if a[i].TotalWork() != c[i].TotalWork() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestWorkloadMix(t *testing.T) {
+	cfg := TestConfig(7)
+	cfg.AdHocFraction = 0.5
+	g := New(cfg)
+	jobs := g.Workload(400)
+	var adhoc, recurring int
+	templates := map[string]int{}
+	for _, j := range jobs {
+		if j.Template == "" {
+			adhoc++
+		} else {
+			recurring++
+			templates[j.Template]++
+		}
+	}
+	if adhoc < 120 || adhoc > 280 {
+		t.Fatalf("ad-hoc count %d far from expected ~200 of 400", adhoc)
+	}
+	// Recurring jobs must actually recur.
+	var repeats int
+	for _, c := range templates {
+		if c > 1 {
+			repeats++
+		}
+	}
+	if repeats == 0 {
+		t.Fatal("no template instantiated more than once")
+	}
+}
+
+func TestRightSkewedDistributions(t *testing.T) {
+	g := New(TestConfig(11))
+	jobs := g.Workload(300)
+	work := make([]float64, len(jobs))
+	peaks := make([]float64, len(jobs))
+	for i, j := range jobs {
+		work[i] = float64(j.TotalWork())
+		peaks[i] = float64(j.PeakParallelism())
+	}
+	// Right-skew: mean well above median, as the paper reports for both
+	// run time (9.5 vs 3 minutes) and tokens (154 vs 54).
+	if stats.Mean(work) < 1.3*stats.Median(work) {
+		t.Fatalf("work not right-skewed: mean %.0f median %.0f", stats.Mean(work), stats.Median(work))
+	}
+	if stats.Mean(peaks) < 1.2*stats.Median(peaks) {
+		t.Fatalf("peaks not right-skewed: mean %.0f median %.0f", stats.Mean(peaks), stats.Median(peaks))
+	}
+	if stats.Min(peaks) < 1 {
+		t.Fatal("peak parallelism below 1")
+	}
+}
+
+func TestEstimatesDifferFromTruth(t *testing.T) {
+	g := New(TestConfig(3))
+	jobs := g.Workload(50)
+	var diff, total int
+	for _, j := range jobs {
+		for _, op := range j.Operators {
+			total++
+			if op.Est.OutputCardinality != op.True.OutputCardinality {
+				diff++
+			}
+			// Planner decisions are exact.
+			if op.Est.NumPartitions != op.True.NumPartitions {
+				t.Fatal("partition counts must be known exactly at compile time")
+			}
+			if op.Est.OutputCardinality <= 0 || op.True.OutputCardinality <= 0 {
+				t.Fatal("cardinalities must stay positive")
+			}
+		}
+	}
+	if float64(diff) < 0.9*float64(total) {
+		t.Fatalf("only %d/%d operators have noisy estimates", diff, total)
+	}
+}
+
+func TestZeroEstimateSigmaGivesExactEstimates(t *testing.T) {
+	cfg := TestConfig(5)
+	cfg.EstimateSigma = 0
+	// New replaces invalid values; 0 is valid and must be preserved.
+	g := New(cfg)
+	for _, j := range g.Workload(10) {
+		for _, op := range j.Operators {
+			if op.Est.OutputCardinality != op.True.OutputCardinality {
+				t.Fatal("sigma=0 must give exact estimates")
+			}
+		}
+	}
+}
+
+func TestGeneratedJobsExecutable(t *testing.T) {
+	g := New(TestConfig(9))
+	var ex scopesim.Executor
+	for _, j := range g.Workload(40) {
+		res, err := ex.Run(j, j.RequestedTokens)
+		if err != nil {
+			t.Fatalf("job %s failed to execute: %v", j.ID, err)
+		}
+		if res.RuntimeSeconds < 1 {
+			t.Fatalf("job %s ran in %ds", j.ID, res.RuntimeSeconds)
+		}
+		if res.Skyline.Area() != j.TotalWork() {
+			t.Fatalf("job %s area %d != work %d", j.ID, res.Skyline.Area(), j.TotalWork())
+		}
+	}
+}
+
+func TestConfigDefaultsApplied(t *testing.T) {
+	g := New(Config{Seed: 1}) // all other fields zero → defaults
+	jobs := g.Workload(5)
+	if len(jobs) != 5 {
+		t.Fatal("generation with default config failed")
+	}
+	for _, j := range jobs {
+		if j.SubmitTime.IsZero() {
+			t.Fatal("submit time not set")
+		}
+		if j.VirtualCluster == "" {
+			t.Fatal("virtual cluster not set")
+		}
+	}
+}
+
+func TestTokenRequestsClusterOnDefaults(t *testing.T) {
+	g := New(TestConfig(13))
+	jobs := g.Workload(300)
+	defaults := map[int]bool{}
+	for _, d := range defaultTokenChoices {
+		defaults[d] = true
+	}
+	var onDefault int
+	for _, j := range jobs {
+		if defaults[j.RequestedTokens] {
+			onDefault++
+		}
+	}
+	// ~70% of users pick the template default (§1's user study).
+	if float64(onDefault) < 0.5*float64(len(jobs)) {
+		t.Fatalf("only %d/%d jobs use default token requests", onDefault, len(jobs))
+	}
+}
+
+func TestSetInputDriftGrowsJobs(t *testing.T) {
+	// Same seed: generate a stretch of jobs without drift, then regenerate
+	// with drift and compare total work on the drifted stretch.
+	base := New(TestConfig(77))
+	baseJobs := base.Workload(120)
+
+	drifted := New(TestConfig(77))
+	drifted.Workload(60) // identical prefix consumes the same randomness
+	drifted.SetInputDrift(1.5)
+	driftedTail := drifted.Workload(60)
+
+	var baseWork, driftWork int
+	for i := 0; i < 60; i++ {
+		baseWork += baseJobs[60+i].TotalWork()
+		driftWork += driftedTail[i].TotalWork()
+	}
+	if float64(driftWork) < 1.2*float64(baseWork) {
+		t.Fatalf("drifted work %d not clearly above base %d", driftWork, baseWork)
+	}
+	// Templates persist across the drift: recurring jobs still recur.
+	var shared int
+	seen := map[string]bool{}
+	for _, j := range baseJobs[:60] {
+		if j.Template != "" {
+			seen[j.Template] = true
+		}
+	}
+	for _, j := range driftedTail {
+		if j.Template != "" && seen[j.Template] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no recurring templates survive the drift")
+	}
+	// Degenerate factor clamps instead of zeroing out the workload.
+	drifted.SetInputDrift(0)
+	if j := drifted.Job(); j.TotalWork() < 1 {
+		t.Fatal("clamped drift produced empty job")
+	}
+}
+
+// TestFullScalePopulationShape verifies the §5 population properties at
+// production scale (SizeScale 1): right-skewed run times in the
+// tens-of-seconds-to-hours band and right-skewed peak token usage with a
+// median in the tens — the shape of the paper's 85K-job workload (run
+// times 33s–21h with median 3 min; peaks 1–6,287 with median 54).
+func TestFullScalePopulationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("executes a full-scale workload")
+	}
+	g := New(DefaultConfig(123))
+	jobs := g.Workload(400)
+	var ex scopesim.Executor
+	var rts, peaks []float64
+	for _, j := range jobs {
+		res, err := ex.Run(j, j.RequestedTokens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rts = append(rts, float64(res.RuntimeSeconds))
+		peaks = append(peaks, float64(res.Skyline.Peak()))
+	}
+	if med := stats.Median(rts); med < 30 || med > 600 {
+		t.Fatalf("median run time %.0fs outside the minutes band", med)
+	}
+	if stats.Mean(rts) < 1.2*stats.Median(rts) {
+		t.Fatalf("run times not right-skewed: mean %.0f median %.0f", stats.Mean(rts), stats.Median(rts))
+	}
+	if max := stats.Max(rts); max < 600 {
+		t.Fatalf("no long-tail jobs: max run time %.0fs", max)
+	}
+	if med := stats.Median(peaks); med < 10 || med > 300 {
+		t.Fatalf("median peak %.0f tokens outside the tens band", med)
+	}
+	if stats.Mean(peaks) < 1.2*stats.Median(peaks) {
+		t.Fatalf("peaks not right-skewed: mean %.0f median %.0f", stats.Mean(peaks), stats.Median(peaks))
+	}
+}

@@ -1,0 +1,182 @@
+package tasq
+
+import (
+	"math/rand"
+
+	"tasq/internal/arepas"
+	"tasq/internal/flight"
+	"tasq/internal/jobrepo"
+	"tasq/internal/pcc"
+	"tasq/internal/scheduler"
+	"tasq/internal/scopesim"
+	"tasq/internal/selection"
+	"tasq/internal/serve"
+	"tasq/internal/skyline"
+	"tasq/internal/sparkadapt"
+	"tasq/internal/stats"
+	"tasq/internal/trainer"
+	"tasq/internal/workload"
+)
+
+// Core domain types.
+type (
+	// Job is a SCOPE-like analytical job: a DAG of physical operators
+	// grouped into stages, plus submission metadata.
+	Job = scopesim.Job
+	// Operator is one node of a job's physical plan.
+	Operator = scopesim.Operator
+	// Stage is a unit of scheduling within a job.
+	Stage = scopesim.Stage
+	// OpMetrics carries the Table 1 per-operator quantities.
+	OpMetrics = scopesim.OpMetrics
+	// Skyline is a job's per-second token usage.
+	Skyline = skyline.Skyline
+	// PCC is the power-law performance characteristic curve R = b·Aᵃ.
+	PCC = pcc.Curve
+	// PCCSample is one (tokens, runtime) observation for curve fitting.
+	PCCSample = pcc.Sample
+	// Executor runs jobs on the simulated token-based cluster.
+	Executor = scopesim.Executor
+	// ExecutionNoise configures stochastic flighting runs.
+	ExecutionNoise = scopesim.Noise
+	// Record pairs a job with its observed production telemetry.
+	Record = jobrepo.Record
+	// Repository stores historical records.
+	Repository = jobrepo.Repository
+	// RepositoryFilter restricts repository queries.
+	RepositoryFilter = jobrepo.Filter
+	// Pipeline is a trained TASQ model suite.
+	Pipeline = trainer.Pipeline
+	// TrainConfig controls pipeline training.
+	TrainConfig = trainer.Config
+	// ModelEval is one model-comparison row (Tables 4–6/8 of the paper).
+	ModelEval = trainer.ModelEval
+	// WorkloadGenerator synthesizes SCOPE-like workloads.
+	WorkloadGenerator = workload.Generator
+	// WorkloadConfig controls workload synthesis.
+	WorkloadConfig = workload.Config
+	// FlightDataset is the outcome of a §5.1 flighting experiment.
+	FlightDataset = flight.Dataset
+	// FlightConfig controls the flighting protocol.
+	FlightConfig = flight.Config
+	// SelectionConfig controls §5.1 stratified job selection.
+	SelectionConfig = selection.Config
+	// SelectionResult reports the selected subset and its quality.
+	SelectionResult = selection.Result
+	// Cluster is a fixed-capacity FCFS token pool.
+	Cluster = scheduler.Cluster
+	// Submission is one job entering the cluster queue.
+	Submission = scheduler.Submission
+	// ScoringServer serves PCC predictions over HTTP (Figure 4).
+	ScoringServer = serve.Server
+	// ScoringClient calls a scoring service.
+	ScoringClient = serve.Client
+	// ScoreRequest is the scoring-endpoint input.
+	ScoreRequest = serve.ScoreRequest
+	// ScoreResponse is the scoring-endpoint output.
+	ScoreResponse = serve.ScoreResponse
+)
+
+// Loss kinds for the constrained neural models (§4.5 of the paper).
+const (
+	LF1 = trainer.LF1
+	LF2 = trainer.LF2
+	LF3 = trainer.LF3
+)
+
+// NewExecutor returns a deterministic cluster executor.
+func NewExecutor() *Executor { return &Executor{} }
+
+// NewRepository returns an empty historical job repository.
+func NewRepository() *Repository { return jobrepo.New() }
+
+// LoadRepository reads a repository from a JSON-Lines file.
+func LoadRepository(path string) (*Repository, error) { return jobrepo.LoadFile(path) }
+
+// NewWorkloadGenerator builds a synthetic workload generator.
+func NewWorkloadGenerator(cfg WorkloadConfig) *WorkloadGenerator { return workload.New(cfg) }
+
+// DefaultWorkloadConfig returns the production-like synthesis defaults.
+func DefaultWorkloadConfig(seed int64) WorkloadConfig { return workload.DefaultConfig(seed) }
+
+// SmallWorkloadConfig returns a reduced-scale configuration suitable for
+// examples, demos and tests.
+func SmallWorkloadConfig(seed int64) WorkloadConfig { return workload.TestConfig(seed) }
+
+// TrainPipeline trains the TASQ model suite on historical records.
+func TrainPipeline(recs []*Record, cfg TrainConfig) (*Pipeline, error) {
+	return trainer.Train(recs, cfg)
+}
+
+// DefaultTrainConfig returns the paper's preferred (LF2) configuration.
+func DefaultTrainConfig(seed int64) TrainConfig { return trainer.DefaultConfig(seed) }
+
+// SavePipeline writes a trained pipeline to a file (the "model binary" of
+// the paper's model store).
+func SavePipeline(p *Pipeline, path string) error { return trainer.SavePipelineFile(p, path) }
+
+// LoadPipeline reads a trained pipeline from a file.
+func LoadPipeline(path string) (*Pipeline, error) { return trainer.LoadPipelineFile(path) }
+
+// SimulateSkyline runs AREPAS (Algorithm 1): the skyline the same job
+// would produce at a different token allocation, under area preservation.
+func SimulateSkyline(orig Skyline, tokens int) (Skyline, error) {
+	return arepas.Simulate(orig, tokens)
+}
+
+// SimulateRuntime returns only AREPAS's simulated run time.
+func SimulateRuntime(orig Skyline, tokens int) (int, error) {
+	return arepas.SimulateRuntime(orig, tokens)
+}
+
+// FitPCC fits the power-law curve to samples in log–log space.
+func FitPCC(samples []PCCSample) (PCC, error) { return pcc.Fit(samples) }
+
+// SelectJobs runs the §5.1 stratified under-sampling procedure.
+func SelectJobs(population, pool []*Record, cfg SelectionConfig) (*SelectionResult, error) {
+	return selection.Select(population, pool, cfg)
+}
+
+// DefaultSelectionConfig mirrors the paper's selection setup.
+func DefaultSelectionConfig(seed int64) SelectionConfig { return selection.DefaultConfig(seed) }
+
+// FlightJobs re-executes selected jobs at several token counts with
+// redundancy and anomaly filtering (§5.1).
+func FlightJobs(selected []*Record, ex *Executor, cfg FlightConfig) (*FlightDataset, error) {
+	return flight.Execute(selected, ex, cfg)
+}
+
+// DefaultFlightConfig mirrors the paper's flighting protocol.
+func DefaultFlightConfig(seed int64) FlightConfig { return flight.DefaultConfig(seed) }
+
+// NewScoringServer wraps a trained pipeline as an HTTP service.
+func NewScoringServer(p *Pipeline) (*ScoringServer, error) { return serve.NewServer(p) }
+
+// NewScoringClient returns a client for a scoring service base URL.
+func NewScoringClient(baseURL string) *ScoringClient { return serve.NewClient(baseURL) }
+
+// MedianAPE returns the median absolute percentage error (as a fraction)
+// between predictions and ground truth.
+func MedianAPE(pred, truth []float64) float64 { return stats.MedianAPE(pred, truth) }
+
+// NewRand returns a seeded random source, for deterministic examples.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Spark SQL adaptation (§2.3 of the paper: applicability to other
+// platforms, in the style of the companion AutoExecutor work).
+type (
+	// SparkPlatform describes a Spark deployment: executors with several
+	// task slots each, plus a fixed fleet startup cost.
+	SparkPlatform = sparkadapt.Platform
+	// SparkModel predicts query run time per executor count and fits
+	// scaled-Amdahl curves R(E) = S + P/E.
+	SparkModel = sparkadapt.Model
+	// SparkCurve is the Spark adaptation's performance characteristic
+	// curve.
+	SparkCurve = sparkadapt.Curve
+)
+
+// TrainSparkModel fits the Spark SQL adaptation on historical records.
+func TrainSparkModel(recs []*Record, platform SparkPlatform) (*SparkModel, error) {
+	return sparkadapt.Train(recs, platform, sparkadapt.TrainConfig{})
+}

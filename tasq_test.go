@@ -1,0 +1,106 @@
+package tasq_test
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"tasq"
+)
+
+// TestPublicAPIEndToEnd drives the whole system through the façade: build
+// a workload, ingest telemetry, train, score over HTTP, pick an optimal
+// allocation, flight a selection and validate the simulator.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	gen := tasq.NewWorkloadGenerator(tasq.SmallWorkloadConfig(99))
+	repo := tasq.NewRepository()
+	ex := tasq.NewExecutor()
+	if err := repo.Ingest(gen.Workload(120), ex); err != nil {
+		t.Fatal(err)
+	}
+
+	tcfg := tasq.DefaultTrainConfig(99)
+	tcfg.XGB.NumTrees = 20
+	tcfg.NN.Epochs = 20
+	tcfg.GNN.Epochs = 2
+	pipe, err := tasq.TrainPipeline(repo.All(), tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Score a fresh, never-seen job.
+	newJob := gen.Job()
+	curve, model, err := pipe.ScoreJob(newJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model == "" || !curve.NonIncreasing() {
+		t.Fatalf("scored %q curve %+v", model, curve)
+	}
+	opt := curve.OptimalTokens(1, newJob.RequestedTokens, 0.01)
+	if opt < 1 || opt > newJob.RequestedTokens {
+		t.Fatalf("optimal tokens %d", opt)
+	}
+
+	// AREPAS on an observed skyline.
+	rec := repo.All()[0]
+	sim, err := tasq.SimulateSkyline(rec.Skyline, maxInt(1, rec.ObservedTokens/2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Area() != rec.Skyline.Area() {
+		t.Fatal("area not preserved through façade")
+	}
+
+	// PCC fitting façade.
+	fitted, err := tasq.FitPCC([]tasq.PCCSample{{Tokens: 10, Runtime: 100}, {Tokens: 20, Runtime: 60}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fitted.NonIncreasing() {
+		t.Fatalf("fit %+v", fitted)
+	}
+
+	// Selection + flighting façade.
+	sel, err := tasq.SelectJobs(repo.All(), repo.All(), tasq.SelectionConfig{K: 4, SampleSize: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := tasq.FlightJobs(sel.Selected, ex, tasq.DefaultFlightConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Jobs) == 0 {
+		t.Fatal("no flighted jobs")
+	}
+
+	// HTTP scoring façade.
+	srv, err := tasq.NewScoringServer(pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := tasq.NewScoringClient(ts.URL)
+	if err := client.Health(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Score(&tasq.ScoreRequest{Job: newJob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OptimalTokens < 1 {
+		t.Fatalf("served optimal %d", resp.OptimalTokens)
+	}
+
+	// Stats façade.
+	if got := tasq.MedianAPE([]float64{110}, []float64{100}); got != 0.1 {
+		t.Fatalf("MedianAPE = %v", got)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
