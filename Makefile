@@ -1,0 +1,27 @@
+# Development targets for the TASQ reproduction.
+#
+#   make build   compile everything
+#   make test    tier-1 verification (go build + go test)
+#   make race    race-detector pass over the concurrent serving path
+#   make check   full gate: vet + build + tests + race (run before merging)
+
+GO ?= go
+
+.PHONY: build test race vet check
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The serving path shares one pipeline across handler goroutines; keep it
+# provably race-clean.
+race:
+	$(GO) test -race ./internal/serve/... ./internal/obs/... ./cmd/tasqd/...
+
+check: vet test race
+	@echo "check: ok"

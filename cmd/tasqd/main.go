@@ -2,37 +2,65 @@
 // endpoint of the paper's Figure 4 system integration. It loads a pipeline
 // trained and persisted with "tasq train" and exposes:
 //
-//	GET  /healthz   liveness probe
-//	POST /v1/score  job scoring (see internal/serve for the schema)
+//	GET  /healthz         liveness probe
+//	GET  /readyz          readiness probe (503 while draining)
+//	GET  /metrics         Prometheus text-format metrics
+//	POST /v1/score        job scoring (see internal/serve for the schema)
+//	POST /v1/score/batch  concurrent batch scoring
+//
+// The daemon shuts down gracefully: on SIGINT/SIGTERM it flips /readyz to
+// draining, waits the readiness grace period so load balancers stop
+// routing new work here, then closes the listener and lets in-flight
+// requests finish within the drain deadline.
 //
 // Usage:
 //
-//	tasqd -model model.gob -addr :8080
+//	tasqd -model model.gob -addr :8080 -drain 15s
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"tasq/internal/obs"
 	"tasq/internal/serve"
 	"tasq/internal/trainer"
 )
 
+// testOnListen, when set, receives the bound listener address; tests use
+// it to talk to a server started on port 0.
+var testOnListen func(net.Addr)
+
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "tasqd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("tasqd", flag.ContinueOnError)
 	model := fs.String("model", "model.gob", "trained model path (from 'tasq train')")
 	addr := fs.String("addr", ":8080", "listen address")
+	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown deadline for in-flight requests")
+	grace := fs.Duration("grace", 0, "wait after flipping /readyz to draining before closing the listener")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second, "max time to read a request (header + body)")
+	writeTimeout := fs.Duration("write-timeout", 60*time.Second, "max time to write a response")
+	idleTimeout := fs.Duration("idle-timeout", 120*time.Second, "keep-alive idle connection timeout")
+	maxHeaderBytes := fs.Int("max-header-bytes", 1<<20, "request header size limit")
+	workers := fs.Int("workers", 0, "batch-scoring worker pool size (0 = NumCPU)")
+	quiet := fs.Bool("quiet", false, "disable structured request logging")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -40,15 +68,64 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv, err := serve.NewServer(p)
+	opts := []serve.Option{}
+	if !*quiet {
+		opts = append(opts, serve.WithLogger(obs.NewLogger(os.Stderr)))
+	}
+	if *workers > 0 {
+		opts = append(opts, serve.WithWorkers(*workers))
+	}
+	srv, err := serve.NewServer(p, opts...)
 	if err != nil {
 		return err
 	}
-	log.Printf("tasqd: serving model %s on %s", *model, *addr)
-	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
 	}
-	return httpSrv.ListenAndServe()
+	if testOnListen != nil {
+		testOnListen(ln.Addr())
+	}
+	log.Printf("tasqd: serving model %s on %s", *model, ln.Addr())
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+		MaxHeaderBytes:    *maxHeaderBytes,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		// Serve never returns nil; without a shutdown this is a real
+		// listener failure.
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain: flip readiness first so orchestrators stop sending traffic,
+	// give them the grace period to notice, then close the listener and
+	// wait for in-flight requests up to the drain deadline.
+	log.Printf("tasqd: draining (grace %s, deadline %s)", *grace, *drain)
+	srv.SetReady(false)
+	if *grace > 0 {
+		time.Sleep(*grace)
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		// Deadline exceeded: hard-close whatever is left.
+		httpSrv.Close()
+		return fmt.Errorf("drain deadline exceeded: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("tasqd: drained, bye")
+	return nil
 }

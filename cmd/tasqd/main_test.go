@@ -1,19 +1,235 @@
 package main
 
 import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os/signal"
 	"path/filepath"
+	"strings"
+	"syscall"
 	"testing"
+	"time"
+
+	"tasq/internal/jobrepo"
+	"tasq/internal/scopesim"
+	"tasq/internal/serve"
+	"tasq/internal/trainer"
+	"tasq/internal/workload"
 )
 
 func TestRunMissingModel(t *testing.T) {
 	missing := filepath.Join(t.TempDir(), "nope.gob")
-	if err := run([]string{"-model", missing, "-addr", "127.0.0.1:0"}); err == nil {
+	if err := run(context.Background(), []string{"-model", missing, "-addr", "127.0.0.1:0"}); err == nil {
 		t.Fatal("missing model accepted")
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
-	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+	if err := run(context.Background(), []string{"-definitely-not-a-flag"}); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunBadAddr(t *testing.T) {
+	path := trainModel(t)
+	if err := run(context.Background(), []string{"-model", path, "-addr", "256.256.256.256:0"}); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}
+
+// trainModel persists a small trained pipeline and returns its path plus a
+// scorable job via the second return.
+func trainModel(t *testing.T) string {
+	t.Helper()
+	path, _ := trainModelWithJob(t)
+	return path
+}
+
+func trainModelWithJob(t *testing.T) (string, *scopesim.Job) {
+	t.Helper()
+	g := workload.New(workload.TestConfig(7))
+	repo := jobrepo.New()
+	var ex scopesim.Executor
+	if err := repo.Ingest(g.Workload(40), &ex); err != nil {
+		t.Fatal(err)
+	}
+	cfg := trainer.DefaultConfig(7)
+	cfg.XGB.NumTrees = 10
+	cfg.NN.Epochs = 10
+	cfg.SkipGNN = true
+	p, err := trainer.Train(repo.All(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := trainer.SavePipelineFile(p, path); err != nil {
+		t.Fatal(err)
+	}
+	return path, repo.All()[0].Job
+}
+
+// TestGracefulShutdownOnSIGTERM exercises the full drain choreography
+// against a live tasqd: an in-flight request is held open, SIGTERM
+// arrives, /readyz flips to draining while the listener is still up
+// (readiness grace), the in-flight request completes with a 200, and run
+// returns cleanly within the drain deadline.
+func TestGracefulShutdownOnSIGTERM(t *testing.T) {
+	modelPath, job := trainModelWithJob(t)
+
+	addrCh := make(chan net.Addr, 1)
+	testOnListen = func(a net.Addr) { addrCh <- a }
+	defer func() { testOnListen = nil }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-model", modelPath,
+			"-addr", "127.0.0.1:0",
+			"-grace", "2s",
+			"-drain", "10s",
+			"-quiet",
+		})
+	}()
+
+	var addr net.Addr
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for listener")
+	}
+	baseURL := "http://" + addr.String()
+	client := serve.NewClient(baseURL)
+	if err := client.Health(); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Ready(); err != nil {
+		t.Fatalf("fresh daemon not ready: %v", err)
+	}
+
+	// Hold a scoring request in flight: send the headers and half the
+	// body, so the handler blocks reading the rest.
+	payload, err := json.Marshal(&serve.ScoreRequest{Job: job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	half := len(payload) / 2
+	fmt.Fprintf(conn, "POST /v1/score HTTP/1.1\r\nHost: tasqd\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n", len(payload))
+	if _, err := conn.Write(payload[:half]); err != nil {
+		t.Fatal(err)
+	}
+
+	// SIGTERM: the daemon must flip /readyz to draining and keep the
+	// listener open for the grace period.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	draining := false
+	deadline := time.Now().Add(1500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		err := client.Ready()
+		if se, ok := err.(*serve.StatusError); ok && se.Code == http.StatusServiceUnavailable {
+			draining = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !draining {
+		t.Fatal("/readyz never reported draining after SIGTERM")
+	}
+
+	// Complete the in-flight request; it must still be answered.
+	if _, err := conn.Write(payload[half:]); err != nil {
+		t.Fatalf("writing body tail during drain: %v", err)
+	}
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		t.Fatalf("reading in-flight response during drain: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-flight request status %d, want 200", resp.StatusCode)
+	}
+	var scored serve.ScoreResponse
+	if err := json.NewDecoder(resp.Body).Decode(&scored); err != nil {
+		t.Fatal(err)
+	}
+	if scored.Model == "" || len(scored.Predictions) == 0 {
+		t.Fatalf("in-flight response incomplete: %+v", scored)
+	}
+
+	// The daemon exits cleanly within the drain deadline.
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit within the drain deadline")
+	}
+}
+
+// TestServesBatchAndMetrics verifies the daemon wires up the full route
+// set, not just single scoring.
+func TestServesBatchAndMetrics(t *testing.T) {
+	modelPath, job := trainModelWithJob(t)
+
+	addrCh := make(chan net.Addr, 1)
+	testOnListen = func(a net.Addr) { addrCh <- a }
+	defer func() { testOnListen = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-model", modelPath, "-addr", "127.0.0.1:0", "-quiet", "-workers", "2"})
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for listener")
+	}
+	client := serve.NewClient("http://" + addr.String())
+
+	batch, err := client.ScoreBatch(&serve.BatchScoreRequest{Items: []serve.ScoreRequest{
+		{Job: job}, {},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Succeeded != 1 || batch.Failed != 1 {
+		t.Fatalf("batch outcome %+v", batch)
+	}
+	metrics, err := client.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metrics, `tasq_http_requests_total{code="2xx",route="/v1/score/batch"} 1`) {
+		t.Fatalf("batch request not counted:\n%s", metrics)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("daemon did not exit after context cancel")
 	}
 }

@@ -16,8 +16,11 @@
 //     the two-parameter power-law PCC,
 //   - a flighting harness and stratified job selection validate the
 //     simulator and the models, and
-//   - an HTTP scoring service integrates the trained models with job
-//     submission (Figure 4 of the paper).
+//   - a production-grade HTTP scoring service integrates the trained
+//     models with job submission (Figure 4 of the paper): single and
+//     concurrent batch scoring, Prometheus-format /metrics, liveness and
+//     readiness probes with graceful drain, and a strict error contract
+//     (invalid requests → 400, internal pipeline failures → 500).
 //
 // Quick start:
 //

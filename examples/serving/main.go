@@ -9,6 +9,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"strings"
 	"time"
 
 	"tasq"
@@ -52,6 +53,9 @@ func main() {
 	if err := client.Health(); err != nil {
 		log.Fatal(err)
 	}
+	if err := client.Ready(); err != nil {
+		log.Fatal(err)
+	}
 	// Score an incoming job with a realistically sized request.
 	job := gen.Job()
 	for job.RequestedTokens < 50 {
@@ -74,4 +78,40 @@ func main() {
 	}
 	fmt.Printf("\nscheduler receives optimal allocation: %d tokens (user requested %d)\n",
 		resp.OptimalTokens, job.RequestedTokens)
+
+	// A burst of submissions goes through the batch endpoint: one round
+	// trip, scored concurrently server-side, with per-item isolation — a
+	// malformed submission doesn't fail its neighbors.
+	batch := &tasq.BatchScoreRequest{Items: []tasq.ScoreRequest{
+		{Job: gen.Job()},
+		{}, // malformed: no job
+		{Job: gen.Job()},
+	}}
+	bresp, err := client.ScoreBatch(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbatch of %d: %d scored, %d rejected\n",
+		len(batch.Items), bresp.Succeeded, bresp.Failed)
+	for _, item := range bresp.Results {
+		if item.Error != "" {
+			fmt.Printf("  item %d -> %d %s\n", item.Index, item.Status, item.Error)
+			continue
+		}
+		fmt.Printf("  item %d -> optimal %d tokens (%s)\n",
+			item.Index, item.Response.OptimalTokens, item.Response.Model)
+	}
+
+	// Operational telemetry: every request above is already on /metrics.
+	metrics, err := client.Metrics()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nscraped /metrics (excerpt):")
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, "tasq_http_requests_total") ||
+			strings.HasPrefix(line, "tasq_score_jobs_total") {
+			fmt.Println("  " + line)
+		}
+	}
 }

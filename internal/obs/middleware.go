@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Logger writes structured single-line JSON records. A nil *Logger is
+// valid and discards everything, so call sites need no guards.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time
+}
+
+// NewLogger returns a logger writing JSON lines to w.
+func NewLogger(w io.Writer) *Logger {
+	return &Logger{w: w, now: time.Now}
+}
+
+// Log emits one record with a timestamp, an event name and the given
+// fields. Field order is whatever encoding/json produces for the map;
+// consumers should key on names, not positions.
+func (l *Logger) Log(event string, fields map[string]any) {
+	if l == nil || l.w == nil {
+		return
+	}
+	rec := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		rec[k] = v
+	}
+	rec["ts"] = l.now().UTC().Format(time.RFC3339Nano)
+	rec["event"] = event
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _ = l.w.Write(append(line, '\n'))
+}
+
+// reqSeq breaks ties when the random source fails; it also makes IDs
+// unique within a process even under a broken entropy pool.
+var reqSeq atomic.Uint64
+
+// NewRequestID returns a 16-hex-character request identifier.
+func NewRequestID() string {
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return fmt.Sprintf("req-%016x", reqSeq.Add(1))
+	}
+	return hex.EncodeToString(buf[:])
+}
+
+// RequestIDHeader carries the request ID on both requests and responses.
+const RequestIDHeader = "X-Request-Id"
+
+// statusRecorder captures the response status and size for metrics and
+// logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	if s.status == 0 {
+		s.status = code
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusRecorder) Write(p []byte) (int, error) {
+	if s.status == 0 {
+		s.status = http.StatusOK
+	}
+	n, err := s.ResponseWriter.Write(p)
+	s.bytes += int64(n)
+	return n, err
+}
+
+// Metric names exported by Instrument.
+const (
+	MetricRequestsTotal   = "tasq_http_requests_total"
+	MetricInFlight        = "tasq_http_in_flight_requests"
+	MetricDurationSeconds = "tasq_http_request_duration_seconds"
+)
+
+// statusClass buckets a status code into "1xx"…"5xx".
+func statusClass(code int) string {
+	if code < 100 || code > 599 {
+		return "other"
+	}
+	return fmt.Sprintf("%dxx", code/100)
+}
+
+// Instrument wraps next with per-route observability: a request counter
+// keyed by status class, an in-flight gauge, a latency histogram with
+// DefBuckets, and one structured log line per request carrying a request
+// ID (honoring an incoming X-Request-Id, otherwise generated and echoed on
+// the response). reg must be non-nil; logger may be nil.
+func Instrument(reg *Registry, logger *Logger, route string, next http.Handler) http.Handler {
+	reg.SetHelp(MetricRequestsTotal, "HTTP requests served, by route and status class.")
+	reg.SetHelp(MetricInFlight, "HTTP requests currently being served, by route.")
+	reg.SetHelp(MetricDurationSeconds, "HTTP request latency in seconds, by route.")
+	inFlight := reg.Gauge(MetricInFlight, "route", route)
+	latency := reg.Histogram(MetricDurationSeconds, nil, "route", route)
+	// Pre-register the common classes so /metrics exposes zero-valued
+	// series from the first scrape.
+	classes := map[string]*Counter{}
+	for _, cls := range []string{"2xx", "4xx", "5xx"} {
+		classes[cls] = reg.Counter(MetricRequestsTotal, "route", route, "code", cls)
+	}
+	counterFor := func(cls string) *Counter {
+		if c, ok := classes[cls]; ok {
+			return c
+		}
+		return reg.Counter(MetricRequestsTotal, "route", route, "code", cls)
+	}
+
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+
+		inFlight.Inc()
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+		inFlight.Dec()
+
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		counterFor(statusClass(rec.status)).Inc()
+		latency.Observe(elapsed.Seconds())
+		logger.Log("http_request", map[string]any{
+			"request_id": id,
+			"method":     r.Method,
+			"route":      route,
+			"path":       r.URL.Path,
+			"status":     rec.status,
+			"bytes":      rec.bytes,
+			"duration_s": elapsed.Seconds(),
+			"remote":     r.RemoteAddr,
+		})
+	})
+}

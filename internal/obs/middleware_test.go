@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestInstrumentRecordsMetricsAndLogs(t *testing.T) {
+	reg := NewRegistry()
+	var logs strings.Builder
+	logger := NewLogger(&logs)
+	h := Instrument(reg, logger, "/v1/score", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("fail") != "" {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := srv.Client().Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Header.Get(RequestIDHeader) == "" {
+			t.Fatal("no request id header on response")
+		}
+		resp.Body.Close()
+	}
+	resp, err := srv.Client().Get(srv.URL + "?fail=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	if got := reg.Counter(MetricRequestsTotal, "route", "/v1/score", "code", "2xx").Value(); got != 3 {
+		t.Fatalf("2xx counter = %d, want 3", got)
+	}
+	if got := reg.Counter(MetricRequestsTotal, "route", "/v1/score", "code", "5xx").Value(); got != 1 {
+		t.Fatalf("5xx counter = %d, want 1", got)
+	}
+	if got := reg.Gauge(MetricInFlight, "route", "/v1/score").Value(); got != 0 {
+		t.Fatalf("in-flight gauge = %d, want 0 after requests drain", got)
+	}
+	if got := reg.Histogram(MetricDurationSeconds, nil, "route", "/v1/score").Count(); got != 4 {
+		t.Fatalf("latency observations = %d, want 4", got)
+	}
+
+	lines := strings.Split(strings.TrimSpace(logs.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d log lines, want 4:\n%s", len(lines), logs.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("log line not JSON: %v", err)
+	}
+	for _, field := range []string{"ts", "event", "request_id", "method", "route", "status", "duration_s"} {
+		if _, ok := rec[field]; !ok {
+			t.Fatalf("log line missing %q: %s", field, lines[0])
+		}
+	}
+	if rec["route"] != "/v1/score" || rec["status"].(float64) != 200 {
+		t.Fatalf("unexpected log record: %v", rec)
+	}
+}
+
+func TestInstrumentHonorsIncomingRequestID(t *testing.T) {
+	reg := NewRegistry()
+	h := Instrument(reg, nil, "/x", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	req := httptest.NewRequest(http.MethodGet, "/x", nil)
+	req.Header.Set(RequestIDHeader, "caller-id-1")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if got := w.Header().Get(RequestIDHeader); got != "caller-id-1" {
+		t.Fatalf("request id %q, want caller-id-1", got)
+	}
+}
+
+func TestInstrumentConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	h := Instrument(reg, NewLogger(&syncDiscard{}), "/x", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	const workers, per = 8, 20
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				resp, err := srv.Client().Get(srv.URL)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter(MetricRequestsTotal, "route", "/x", "code", "2xx").Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestNewRequestIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if len(id) != 16 {
+			t.Fatalf("id %q not 16 hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNilLoggerSafe(t *testing.T) {
+	var l *Logger
+	l.Log("noop", map[string]any{"k": "v"}) // must not panic
+}
+
+func TestStatusClass(t *testing.T) {
+	cases := map[int]string{200: "2xx", 204: "2xx", 404: "4xx", 500: "5xx", 99: "other", 600: "other"}
+	for code, want := range cases {
+		if got := statusClass(code); got != want {
+			t.Fatalf("statusClass(%d) = %q, want %q", code, got, want)
+		}
+	}
+}
+
+// syncDiscard is an io.Writer safe for concurrent use that drops output.
+type syncDiscard struct{ mu sync.Mutex }
+
+func (d *syncDiscard) Write(p []byte) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(p), nil
+}

@@ -60,6 +60,11 @@ var (
 	ErrBadSample    = errors.New("pcc: samples require tokens ≥ 1 and runtime > 0")
 )
 
+// condEps is the conditioning threshold for the least-squares denominator:
+// fits whose log-token spread contributes less than condEps of the raw
+// second moment are numerically rank-deficient.
+const condEps = 1e-12
+
 // Sample is one (tokens, runtime) observation used for fitting.
 type Sample struct {
 	Tokens  float64
@@ -96,7 +101,17 @@ func Fit(samples []Sample) (Curve, error) {
 		return Curve{}, ErrTooFewPoints
 	}
 	fn := float64(n)
+	// den = n·Σ(x−x̄)² up to rounding. When the spread in log-tokens is
+	// tiny relative to its magnitude — token counts differing by just
+	// over the distinctness epsilon — the subtraction cancels
+	// catastrophically, den collapses toward 0 and the slope blows up to
+	// ±Inf/NaN. Such systems carry no usable slope information, so they
+	// are rejected like coincident points rather than letting Valid()
+	// catch garbage parameters downstream.
 	den := fn*sumXX - sumX*sumX
+	if den <= condEps*fn*sumXX {
+		return Curve{}, ErrTooFewPoints
+	}
 	a := (fn*sumXY - sumX*sumY) / den
 	logB := (sumY - a*sumX) / fn
 	return Curve{A: a, B: math.Exp(logB)}, nil
@@ -208,6 +223,16 @@ func (c Curve) TokensForSlowdown(reference int, maxSlowdown float64) int {
 // the maximum-distance-to-chord method: the point on the curve farthest
 // from the straight line joining its endpoints (the red marker in
 // Figure 3). Returns minTokens for degenerate ranges.
+//
+// For a power law the normalized chord distance |nx − ny| is concave in
+// the token count — ny is monotone with curvature of constant sign, so the
+// curve stays on one side of its chord — which makes the maximizer the
+// unique stationary point R′(t) = Δy/Δx. That gives a closed form in O(1)
+// instead of the former O(maxTokens) integer scan:
+//
+//	t* = (Δy / (Δx·a·b))^(1/(a−1))
+//
+// and the discrete argmax is one of ⌊t*⌋, ⌈t*⌉ clamped to the range.
 func (c Curve) Elbow(minTokens, maxTokens int) int {
 	if minTokens < 1 {
 		minTokens = 1
@@ -215,22 +240,50 @@ func (c Curve) Elbow(minTokens, maxTokens int) int {
 	if maxTokens <= minTokens {
 		return minTokens
 	}
+	if math.IsNaN(c.A) || math.IsInf(c.A, 0) || math.IsNaN(c.B) || math.IsInf(c.B, 0) {
+		return minTokens
+	}
 	x1, y1 := float64(minTokens), c.Runtime(float64(minTokens))
 	x2, y2 := float64(maxTokens), c.Runtime(float64(maxTokens))
 	// Normalize both axes so the chord distance is scale-free.
 	dx, dy := x2-x1, y2-y1
-	if dx == 0 {
+	if dy == 0 {
+		// Flat curve (a = 0 or b = 0): ny ≡ 0 and the distance |nx|
+		// grows with tokens, so the far endpoint wins.
+		return maxTokens
+	}
+	if c.A == 1 {
+		// Linear curve: it lies on its own chord, every distance is 0
+		// and the scan's first-strict-improvement rule keeps minTokens.
 		return minTokens
 	}
-	best, bestDist := minTokens, -1.0
-	for tok := minTokens; tok <= maxTokens; tok++ {
-		nx := (float64(tok) - x1) / dx
-		ny := 0.0
-		if dy != 0 {
-			ny = (c.Runtime(float64(tok)) - y1) / dy
+	// Stationary point of the chord distance: R′(t) = Δy/Δx. The ratio is
+	// positive because dy carries the sign of R′ (R is monotone).
+	t := math.Pow(dy/(dx*c.A*c.B), 1/(c.A-1))
+	lo, hi := minTokens, minTokens
+	switch tf := math.Floor(t); {
+	case math.IsNaN(tf) || tf < float64(minTokens):
+		lo, hi = minTokens, minTokens
+	case tf >= float64(maxTokens):
+		lo, hi = maxTokens, maxTokens
+	default:
+		lo = int(tf)
+		hi = lo + 1
+		if hi > maxTokens {
+			hi = maxTokens
 		}
-		// Distance from (nx, ny) to the line y = x in normalized space.
-		if d := math.Abs(nx - ny); d > bestDist {
+	}
+	dist := func(tok int) float64 {
+		nx := (float64(tok) - x1) / dx
+		ny := (c.Runtime(float64(tok)) - y1) / dy
+		return math.Abs(nx - ny)
+	}
+	// Candidates in ascending order with strict improvement reproduce the
+	// scan's tie-breaking (first maximizer wins). The endpoints both have
+	// distance 0, so checking minTokens seeds the comparison.
+	best, bestDist := minTokens, dist(minTokens)
+	for _, tok := range []int{lo, hi, maxTokens} {
+		if d := dist(tok); d > bestDist {
 			best, bestDist = tok, d
 		}
 	}

@@ -221,3 +221,106 @@ func TestFittedCurveMonotonePredictions(t *testing.T) {
 		t.Fatalf("trend not monotone: %v", trend)
 	}
 }
+
+func TestFitNearDegenerateTokensRejected(t *testing.T) {
+	// Token counts whose logs differ by just over the 1e-12 distinctness
+	// epsilon pass the distinctness check but leave the least-squares
+	// denominator catastrophically cancelled; the conditioning guard must
+	// reject them instead of returning Inf/NaN parameters.
+	base := 100.0
+	eps := base * 3e-12 // log spread ≈ 3e-12, just over the 1e-12 check
+	_, err := Fit([]Sample{{base, 120}, {base + eps, 80}})
+	if !errors.Is(err, ErrTooFewPoints) {
+		t.Fatalf("near-degenerate tokens: err = %v, want ErrTooFewPoints", err)
+	}
+}
+
+func TestFitWellConditionedLargeTokensStillFit(t *testing.T) {
+	// Large token counts with a modest relative spread are fine — the
+	// conditioning guard must not reject legitimate fits.
+	truth := Curve{A: -0.4, B: 9000}
+	var samples []Sample
+	for _, tok := range []float64{1e6, 1.2e6, 1.5e6, 2e6} {
+		samples = append(samples, Sample{Tokens: tok, Runtime: truth.Runtime(tok)})
+	}
+	got, err := Fit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.A-truth.A) > 1e-6 {
+		t.Fatalf("fit = %+v, want %+v", got, truth)
+	}
+}
+
+// elbowScan is the former O(maxTokens) reference implementation, kept in
+// the tests as ground truth for the closed-form Elbow.
+func elbowScan(c Curve, minTokens, maxTokens int) int {
+	if minTokens < 1 {
+		minTokens = 1
+	}
+	if maxTokens <= minTokens {
+		return minTokens
+	}
+	x1, y1 := float64(minTokens), c.Runtime(float64(minTokens))
+	x2, y2 := float64(maxTokens), c.Runtime(float64(maxTokens))
+	dx, dy := x2-x1, y2-y1
+	best, bestDist := minTokens, -1.0
+	for tok := minTokens; tok <= maxTokens; tok++ {
+		nx := (float64(tok) - x1) / dx
+		ny := 0.0
+		if dy != 0 {
+			ny = (c.Runtime(float64(tok)) - y1) / dy
+		}
+		if d := math.Abs(nx - ny); d > bestDist {
+			best, bestDist = tok, d
+		}
+	}
+	return best
+}
+
+func TestElbowMatchesScan(t *testing.T) {
+	curves := []Curve{
+		{A: -1, B: 2000},
+		{A: -0.05, B: 100},
+		{A: -0.5, B: 3000},
+		{A: -2.5, B: 1e6},
+		{A: 0, B: 50},     // flat
+		{A: 1, B: 10},     // linear: on its own chord
+		{A: 0.5, B: 4},    // increasing concave
+		{A: 2, B: 0.1},    // increasing convex
+		{A: -1, B: -100},  // negative scale
+		{A: -0.01, B: 10}, // nearly flat
+	}
+	ranges := [][2]int{{1, 2}, {1, 10}, {5, 200}, {1, 500}, {17, 23}, {1, 1000}, {99, 100}}
+	for _, c := range curves {
+		for _, r := range ranges {
+			want := elbowScan(c, r[0], r[1])
+			got := c.Elbow(r[0], r[1])
+			if got != want {
+				t.Errorf("Elbow(%v, %d, %d) = %d, scan says %d", c, r[0], r[1], got, want)
+			}
+		}
+	}
+}
+
+func TestElbowMatchesScanProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := Curve{A: -(0.02 + 2.5*rng.Float64()), B: 10 + rng.Float64()*5000}
+		lo := 1 + rng.Intn(50)
+		hi := lo + 1 + rng.Intn(800)
+		return c.Elbow(lo, hi) == elbowScan(c, lo, hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElbowInvalidParams(t *testing.T) {
+	if got := (Curve{A: math.NaN(), B: 100}).Elbow(1, 100); got != 1 {
+		t.Fatalf("NaN exponent elbow = %d, want 1", got)
+	}
+	if got := (Curve{A: -1, B: math.Inf(1)}).Elbow(1, 100); got != 1 {
+		t.Fatalf("Inf scale elbow = %d, want 1", got)
+	}
+}

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"net/http"
+	"sync"
+)
+
+// BatchScoreRequest scores several jobs in one call. Items are scored
+// concurrently over the server's bounded worker pool; a failing item never
+// affects its siblings.
+type BatchScoreRequest struct {
+	Items []ScoreRequest `json:"items"`
+}
+
+// BatchItemResult is the outcome for one batch item. Exactly one of
+// Response and Error is set; Status carries the HTTP-equivalent code for
+// the item (200, 400 or 500) so clients can apply the same error contract
+// as the single-score endpoint.
+type BatchItemResult struct {
+	Index    int            `json:"index"`
+	Status   int            `json:"status"`
+	Response *ScoreResponse `json:"response,omitempty"`
+	Error    string         `json:"error,omitempty"`
+}
+
+// BatchScoreResponse reports per-item outcomes in input order.
+type BatchScoreResponse struct {
+	Results   []BatchItemResult `json:"results"`
+	Succeeded int               `json:"succeeded"`
+	Failed    int               `json:"failed"`
+}
+
+func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req BatchScoreRequest
+	if err := decodeBody(r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Items) == 0 {
+		http.Error(w, "serve: batch without items", http.StatusBadRequest)
+		return
+	}
+	if len(req.Items) > s.maxBatch {
+		http.Error(w, "serve: batch too large", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.scoreBatch(&req))
+}
+
+// scoreBatch fans the items out over at most s.workers goroutines and
+// assembles results in input order. The envelope always succeeds; errors
+// are isolated per item.
+func (s *Server) scoreBatch(req *BatchScoreRequest) *BatchScoreResponse {
+	n := len(req.Items)
+	out := &BatchScoreResponse{Results: make([]BatchItemResult, n)}
+
+	workers := s.workers
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res := BatchItemResult{Index: i}
+				resp, err := s.score(&req.Items[i])
+				if err != nil {
+					res.Status = httpStatus(err)
+					res.Error = err.Error()
+				} else {
+					res.Status = http.StatusOK
+					res.Response = resp
+				}
+				out.Results[i] = res
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for _, res := range out.Results {
+		if res.Status == http.StatusOK {
+			out.Succeeded++
+		} else {
+			out.Failed++
+		}
+	}
+	return out
+}
+
+// ScoreBatch submits several jobs in one request. The returned response
+// carries per-item results; an item-level failure is reported in its
+// BatchItemResult, not as a Go error.
+func (c *Client) ScoreBatch(req *BatchScoreRequest) (*BatchScoreResponse, error) {
+	var out BatchScoreResponse
+	if err := c.postJSON("/v1/score/batch", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

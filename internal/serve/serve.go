@@ -1,9 +1,16 @@
 // Package serve implements the model-serving side of the TASQ system
-// integration (Figure 4): an HTTP scoring endpoint that accepts an
-// incoming job's compile-time information, featurizes it through the
-// trained pipeline and returns the predicted PCC, run-time estimates over
-// candidate token counts, and the optimal token recommendation. A typed Go
-// client mirrors the Python client for SCOPE.
+// integration (Figure 4): an HTTP scoring service that accepts an incoming
+// job's compile-time information, featurizes it through the trained
+// pipeline and returns the predicted PCC, run-time estimates over candidate
+// token counts, and the optimal token recommendation. A typed Go client
+// mirrors the Python client for SCOPE.
+//
+// The service is production-hardened: single (`POST /v1/score`) and batch
+// (`POST /v1/score/batch`) scoring over a bounded worker pool, Prometheus
+// metrics at `GET /metrics`, liveness (`/healthz`) and readiness
+// (`/readyz`) probes, structured request logging with request IDs, and a
+// strict error contract — invalid requests yield HTTP 400, internal
+// pipeline failures HTTP 500.
 package serve
 
 import (
@@ -13,12 +20,18 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
+	"sync/atomic"
 	"time"
 
+	"tasq/internal/obs"
 	"tasq/internal/pcc"
 	"tasq/internal/scopesim"
 	"tasq/internal/trainer"
 )
+
+// maxBodyBytes bounds request and response bodies read into memory.
+const maxBodyBytes = 16 << 20
 
 // ScoreRequest is the scoring-pipeline input: the compile-time job
 // description plus optional what-if parameters.
@@ -28,9 +41,11 @@ type ScoreRequest struct {
 	// for; defaults to a sweep up to the requested tokens.
 	CandidateTokens []int `json:"candidate_tokens,omitempty"`
 	// Threshold is the §2.1 optimal-allocation termination threshold
-	// (default 0.01: demand ≥1% improvement per extra token).
+	// (default 0.01: demand ≥1% improvement per extra token). Negative
+	// values are rejected.
 	Threshold float64 `json:"threshold,omitempty"`
-	// MaxTokens caps the optimal-token search (default: requested tokens).
+	// MaxTokens caps the optimal-token search (default: requested
+	// tokens). Negative values are rejected.
 	MaxTokens int `json:"max_tokens,omitempty"`
 }
 
@@ -54,25 +69,161 @@ type ScoreResponse struct {
 	Predictions   []PointJSON `json:"predictions"`
 }
 
-// Server scores jobs with a trained pipeline.
-type Server struct {
-	pipeline *trainer.Pipeline
-	mux      *http.ServeMux
+// scorer is the slice of trainer.Pipeline the server needs; tests inject
+// failing implementations to exercise the internal-error path.
+type scorer interface {
+	ScoreJob(job *scopesim.Job) (pcc.Curve, string, error)
 }
 
+// requestError marks a client-side validation failure. Handlers map it to
+// HTTP 400; every other scoring error is an internal failure and maps to
+// HTTP 500.
+type requestError struct{ err error }
+
+func (e *requestError) Error() string { return e.err.Error() }
+func (e *requestError) Unwrap() error { return e.err }
+
+// reqErrf builds a requestError.
+func reqErrf(format string, args ...any) error {
+	return &requestError{err: fmt.Errorf(format, args...)}
+}
+
+// httpStatus maps a scoring error onto the 400-vs-500 contract.
+func httpStatus(err error) int {
+	var re *requestError
+	if errors.As(err, &re) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// StatusError is returned by Client methods when the service answers with
+// a non-200 status, preserving the code so callers can distinguish their
+// own bad requests (400) from server-side failures (500).
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("serve: status %d: %s", e.Code, e.Message)
+}
+
+// Server scores jobs with a trained pipeline. One Server is shared across
+// all handler goroutines; the pipeline is treated as immutable after
+// construction.
+type Server struct {
+	pipeline scorer
+	mux      *http.ServeMux
+	reg      *obs.Registry
+	logger   *obs.Logger
+	workers  int
+	maxBatch int
+	ready    atomic.Bool
+
+	scoreOK       *obs.Counter
+	scoreRejected *obs.Counter
+	scoreFailed   *obs.Counter
+}
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithRegistry shares an external metrics registry (e.g. with the process
+// hosting the server). By default each Server gets its own.
+func WithRegistry(reg *obs.Registry) Option {
+	return func(s *Server) {
+		if reg != nil {
+			s.reg = reg
+		}
+	}
+}
+
+// WithLogger enables structured request logging.
+func WithLogger(l *obs.Logger) Option {
+	return func(s *Server) { s.logger = l }
+}
+
+// WithWorkers bounds the batch-scoring worker pool (default
+// runtime.NumCPU()).
+func WithWorkers(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.workers = n
+		}
+	}
+}
+
+// WithMaxBatch caps the number of items accepted per batch request
+// (default DefaultMaxBatch).
+func WithMaxBatch(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBatch = n
+		}
+	}
+}
+
+// DefaultMaxBatch is the default per-request batch item cap.
+const DefaultMaxBatch = 1024
+
 // NewServer wraps a trained pipeline.
-func NewServer(p *trainer.Pipeline) (*Server, error) {
+func NewServer(p *trainer.Pipeline, opts ...Option) (*Server, error) {
 	if p == nil {
 		return nil, errors.New("serve: nil pipeline")
 	}
-	s := &Server{pipeline: p, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/healthz", s.handleHealth)
-	s.mux.HandleFunc("/v1/score", s.handleScore)
+	return newServer(p, opts...)
+}
+
+// newServer builds a Server over any scorer; split from NewServer so tests
+// can inject failing pipelines.
+func newServer(p scorer, opts ...Option) (*Server, error) {
+	if p == nil {
+		return nil, errors.New("serve: nil pipeline")
+	}
+	s := &Server{
+		pipeline: p,
+		mux:      http.NewServeMux(),
+		reg:      obs.NewRegistry(),
+		workers:  runtime.NumCPU(),
+		maxBatch: DefaultMaxBatch,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.ready.Store(true)
+
+	s.reg.SetHelp("tasq_score_jobs_total", "Jobs scored, by outcome (ok, rejected, failed).")
+	s.scoreOK = s.reg.Counter("tasq_score_jobs_total", "outcome", "ok")
+	s.scoreRejected = s.reg.Counter("tasq_score_jobs_total", "outcome", "rejected")
+	s.scoreFailed = s.reg.Counter("tasq_score_jobs_total", "outcome", "failed")
+
+	s.route("/healthz", http.HandlerFunc(s.handleHealth))
+	s.route("/readyz", http.HandlerFunc(s.handleReady))
+	s.route("/v1/score", http.HandlerFunc(s.handleScore))
+	s.route("/v1/score/batch", http.HandlerFunc(s.handleScoreBatch))
+	s.mux.Handle("/metrics", s.reg.Handler())
 	return s, nil
+}
+
+// route mounts a handler wrapped with per-route metrics and logging.
+func (s *Server) route(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, obs.Instrument(s.reg, s.logger, pattern, h))
 }
 
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the server's metrics registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// SetReady flips the /readyz probe; the serving process sets it to false
+// when draining so load balancers stop routing new work here while
+// in-flight requests complete.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports the current readiness state.
+func (s *Server) Ready() bool { return s.ready.Load() }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
@@ -82,46 +233,90 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// decodeBody reads and unmarshals a bounded request body into v.
+func decodeBody(r *http.Request, v any) error {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		return fmt.Errorf("reading request: %w", err)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}
+
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
-	if err != nil {
-		http.Error(w, "reading request: "+err.Error(), http.StatusBadRequest)
-		return
-	}
 	var req ScoreRequest
-	if err := json.Unmarshal(body, &req); err != nil {
-		http.Error(w, "decoding request: "+err.Error(), http.StatusBadRequest)
+	if err := decodeBody(r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	resp, err := s.score(&req)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		http.Error(w, err.Error(), httpStatus(err))
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// score runs one request through validation and the pipeline. All
+// validation failures come back as *requestError (HTTP 400); anything the
+// pipeline itself gets wrong is internal (HTTP 500).
 func (s *Server) score(req *ScoreRequest) (*ScoreResponse, error) {
 	if req.Job == nil {
-		return nil, errors.New("serve: request without job")
+		s.scoreRejected.Inc()
+		return nil, reqErrf("serve: request without job")
 	}
 	if err := req.Job.Validate(); err != nil {
-		return nil, fmt.Errorf("serve: invalid job: %w", err)
+		s.scoreRejected.Inc()
+		return nil, reqErrf("serve: invalid job: %w", err)
 	}
+	if req.Threshold < 0 {
+		s.scoreRejected.Inc()
+		return nil, reqErrf("serve: negative threshold %v: the §2.1 termination threshold must be positive (0 selects the 0.01 default)", req.Threshold)
+	}
+	if req.MaxTokens < 0 {
+		s.scoreRejected.Inc()
+		return nil, reqErrf("serve: negative max_tokens %d: the optimal-token search cap must be positive (0 selects the job's requested tokens)", req.MaxTokens)
+	}
+	for _, tok := range req.CandidateTokens {
+		if tok < 1 {
+			s.scoreRejected.Inc()
+			return nil, reqErrf("serve: candidate token count %d: token counts start at 1", tok)
+		}
+	}
+
 	curve, model, err := s.pipeline.ScoreJob(req.Job)
 	if err != nil {
+		s.scoreFailed.Inc()
 		return nil, fmt.Errorf("serve: scoring: %w", err)
 	}
+	if !curve.Valid() {
+		s.scoreFailed.Inc()
+		return nil, fmt.Errorf("serve: scoring: model %s produced invalid curve %v", model, curve)
+	}
 	threshold := req.Threshold
-	if threshold <= 0 {
+	if threshold == 0 {
 		threshold = 0.01
 	}
 	maxTokens := req.MaxTokens
-	if maxTokens <= 0 {
+	if maxTokens == 0 {
 		maxTokens = req.Job.RequestedTokens
 	}
 	if maxTokens <= 0 {
@@ -137,14 +332,12 @@ func (s *Server) score(req *ScoreRequest) (*ScoreResponse, error) {
 		candidates = defaultCandidates(maxTokens)
 	}
 	for _, tok := range candidates {
-		if tok < 1 {
-			return nil, fmt.Errorf("serve: candidate token count %d", tok)
-		}
 		resp.Predictions = append(resp.Predictions, PointJSON{
 			Tokens:         tok,
 			RuntimeSeconds: curve.Runtime(float64(tok)),
 		})
 	}
+	s.scoreOK.Inc()
 	return resp, nil
 }
 
@@ -198,27 +391,68 @@ func (c *Client) Health() error {
 	return nil
 }
 
-// Score submits a job for PCC prediction.
-func (c *Client) Score(req *ScoreRequest) (*ScoreResponse, error) {
-	payload, err := json.Marshal(req)
+// Ready checks the service readiness endpoint; a draining or overloaded
+// service returns an error carrying the status code.
+func (c *Client) Ready() error {
+	resp, err := c.httpClient().Get(c.BaseURL + "/readyz")
 	if err != nil {
-		return nil, err
-	}
-	resp, err := c.httpClient().Post(c.BaseURL+"/v1/score", "application/json", bytes.NewReader(payload))
-	if err != nil {
-		return nil, err
+		return err
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+		return &StatusError{Code: resp.StatusCode, Message: string(bytes.TrimSpace(body))}
+	}
+	return nil
+}
+
+// Metrics fetches the Prometheus text exposition of the service.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.httpClient().Get(c.BaseURL + "/metrics")
 	if err != nil {
-		return nil, err
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return "", err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("serve: score status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+		return "", &StatusError{Code: resp.StatusCode, Message: string(bytes.TrimSpace(body))}
 	}
+	return string(body), nil
+}
+
+// postJSON marshals req, posts it to path and decodes the response into
+// out, converting non-200 statuses into *StatusError.
+func (c *Client) postJSON(path string, req, out any) error {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Post(c.BaseURL+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return &StatusError{Code: resp.StatusCode, Message: string(bytes.TrimSpace(body))}
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("serve: decoding response: %w", err)
+	}
+	return nil
+}
+
+// Score submits a job for PCC prediction.
+func (c *Client) Score(req *ScoreRequest) (*ScoreResponse, error) {
 	var out ScoreResponse
-	if err := json.Unmarshal(body, &out); err != nil {
-		return nil, fmt.Errorf("serve: decoding response: %w", err)
+	if err := c.postJSON("/v1/score", req, &out); err != nil {
+		return nil, err
 	}
 	return &out, nil
 }

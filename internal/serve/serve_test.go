@@ -1,12 +1,15 @@
 package serve
 
 import (
+	"errors"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
 	"tasq/internal/jobrepo"
+	"tasq/internal/pcc"
 	"tasq/internal/scopesim"
 	"tasq/internal/trainer"
 	"tasq/internal/workload"
@@ -171,6 +174,152 @@ func TestDefaultCandidates(t *testing.T) {
 	}
 	if got := defaultCandidates(0); len(got) != 1 {
 		t.Fatalf("zero-max candidates %v", got)
+	}
+}
+
+// TestErrorStatusContract pins the 400-vs-500 split: client-side
+// validation problems are 400, pipeline/model failures are 500.
+func TestErrorStatusContract(t *testing.T) {
+	okCurve := pcc.Curve{A: -0.5, B: 100}
+	cases := []struct {
+		name   string
+		scorer *fakeScorer
+		req    ScoreRequest
+		want   int
+	}{
+		{"nil job", &fakeScorer{curve: okCurve}, ScoreRequest{}, 400},
+		{"invalid job", &fakeScorer{curve: okCurve},
+			ScoreRequest{Job: &scopesim.Job{ID: "bad", Stages: []scopesim.Stage{{ID: 0, Tasks: 0, TaskSeconds: 1}}}}, 400},
+		{"negative threshold", &fakeScorer{curve: okCurve},
+			ScoreRequest{Job: validJob("t"), Threshold: -0.5}, 400},
+		{"negative max tokens", &fakeScorer{curve: okCurve},
+			ScoreRequest{Job: validJob("t"), MaxTokens: -7}, 400},
+		{"zero candidate", &fakeScorer{curve: okCurve},
+			ScoreRequest{Job: validJob("t"), CandidateTokens: []int{0}}, 400},
+		{"pipeline failure", &fakeScorer{err: errors.New("tree ensemble corrupt")},
+			ScoreRequest{Job: validJob("t")}, 500},
+		{"invalid model curve", &fakeScorer{curve: pcc.Curve{A: math.NaN(), B: -1}},
+			ScoreRequest{Job: validJob("t")}, 500},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, ts := fakeServer(t, tc.scorer)
+			_, err := NewClient(ts.URL).Score(&tc.req)
+			var se *StatusError
+			if !errors.As(err, &se) {
+				t.Fatalf("error %v (type %T), want *StatusError", err, err)
+			}
+			if se.Code != tc.want {
+				t.Fatalf("status %d, want %d (%s)", se.Code, tc.want, se.Message)
+			}
+		})
+	}
+}
+
+func TestZeroThresholdAndMaxTokensStillDefault(t *testing.T) {
+	_, ts := fakeServer(t, &fakeScorer{curve: pcc.Curve{A: -0.5, B: 100}})
+	resp, err := NewClient(ts.URL).Score(&ScoreRequest{Job: validJob("d")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OptimalTokens < 1 || resp.OptimalTokens > 100 {
+		t.Fatalf("defaulted optimal tokens %d outside [1, 100]", resp.OptimalTokens)
+	}
+}
+
+func TestReadyzDrain(t *testing.T) {
+	srv, ts := fakeServer(t, &fakeScorer{curve: pcc.Curve{A: -0.5, B: 100}})
+	client := NewClient(ts.URL)
+	if err := client.Ready(); err != nil {
+		t.Fatalf("fresh server not ready: %v", err)
+	}
+	srv.SetReady(false)
+	err := client.Ready()
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz: %v", err)
+	}
+	if !strings.Contains(se.Message, "draining") {
+		t.Fatalf("draining readyz body: %q", se.Message)
+	}
+	// Scoring still works while draining: in-flight work completes.
+	if _, err := client.Score(&ScoreRequest{Job: validJob("drain")}); err != nil {
+		t.Fatalf("score during drain: %v", err)
+	}
+	srv.SetReady(true)
+	if err := client.Ready(); err != nil {
+		t.Fatalf("re-ready: %v", err)
+	}
+}
+
+// TestMetricsEndpointShape scripts requests and asserts the Prometheus
+// exposition contains the expected families and that counters and
+// histograms actually move.
+func TestMetricsEndpointShape(t *testing.T) {
+	_, ts := fakeServer(t, &fakeScorer{curve: pcc.Curve{A: -0.5, B: 100}})
+	client := NewClient(ts.URL)
+
+	before, err := client.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE tasq_http_requests_total counter",
+		"# TYPE tasq_http_in_flight_requests gauge",
+		"# TYPE tasq_http_request_duration_seconds histogram",
+		"# TYPE tasq_score_jobs_total counter",
+	} {
+		if !strings.Contains(before, want) {
+			t.Fatalf("missing %q in /metrics:\n%s", want, before)
+		}
+	}
+
+	// Script: 3 good scores, 1 bad score, 1 batch of 2.
+	for i := 0; i < 3; i++ {
+		if _, err := client.Score(&ScoreRequest{Job: validJob("m")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := client.Score(&ScoreRequest{}); err == nil {
+		t.Fatal("bad request accepted")
+	}
+	if _, err := client.ScoreBatch(&BatchScoreRequest{Items: []ScoreRequest{
+		{Job: validJob("m1")}, {Job: validJob("m2")},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	after, err := client.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`tasq_http_requests_total{code="2xx",route="/v1/score"} 3`,
+		`tasq_http_requests_total{code="4xx",route="/v1/score"} 1`,
+		`tasq_http_requests_total{code="2xx",route="/v1/score/batch"} 1`,
+		`tasq_score_jobs_total{outcome="ok"} 5`,
+		`tasq_score_jobs_total{outcome="rejected"} 1`,
+		`tasq_http_request_duration_seconds_count{route="/v1/score"} 4`,
+		`tasq_http_request_duration_seconds_bucket{route="/v1/score",le="+Inf"} 4`,
+	} {
+		if !strings.Contains(after, want+"\n") {
+			t.Fatalf("missing %q in /metrics after scripted load:\n%s", want, after)
+		}
+	}
+	if before == after {
+		t.Fatal("metrics did not change across scripted requests")
+	}
+}
+
+func TestRequestIDOnResponses(t *testing.T) {
+	_, ts := fakeServer(t, &fakeScorer{curve: pcc.Curve{A: -0.5, B: 100}})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Fatal("no request id on /healthz response")
 	}
 }
 

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Full verification gate, equivalent to `make check`: vet, build, tier-1
+# tests, and a race-detector pass over the concurrent serving path.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+echo "== go build"
+go build ./...
+echo "== go test"
+go test ./...
+echo "== go test -race (serving path)"
+go test -race ./internal/serve/... ./internal/obs/... ./cmd/tasqd/...
+echo "check: ok"

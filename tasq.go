@@ -75,6 +75,18 @@ type (
 	ScoreRequest = serve.ScoreRequest
 	// ScoreResponse is the scoring-endpoint output.
 	ScoreResponse = serve.ScoreResponse
+	// BatchScoreRequest scores several jobs in one concurrent call.
+	BatchScoreRequest = serve.BatchScoreRequest
+	// BatchScoreResponse reports per-item batch outcomes in input order.
+	BatchScoreResponse = serve.BatchScoreResponse
+	// BatchItemResult is one batch item's outcome (response or error).
+	BatchItemResult = serve.BatchItemResult
+	// ScoringOption customizes a ScoringServer (worker-pool size, shared
+	// metrics registry, request logging).
+	ScoringOption = serve.Option
+	// ScoringStatusError carries the HTTP status of a failed scoring call,
+	// distinguishing invalid requests (400) from service failures (500).
+	ScoringStatusError = serve.StatusError
 )
 
 // Loss kinds for the constrained neural models (§4.5 of the paper).
@@ -149,8 +161,11 @@ func FlightJobs(selected []*Record, ex *Executor, cfg FlightConfig) (*FlightData
 // DefaultFlightConfig mirrors the paper's flighting protocol.
 func DefaultFlightConfig(seed int64) FlightConfig { return flight.DefaultConfig(seed) }
 
-// NewScoringServer wraps a trained pipeline as an HTTP service.
-func NewScoringServer(p *Pipeline) (*ScoringServer, error) { return serve.NewServer(p) }
+// NewScoringServer wraps a trained pipeline as an HTTP service with
+// batch scoring, Prometheus metrics and readiness probes.
+func NewScoringServer(p *Pipeline, opts ...ScoringOption) (*ScoringServer, error) {
+	return serve.NewServer(p, opts...)
+}
 
 // NewScoringClient returns a client for a scoring service base URL.
 func NewScoringClient(baseURL string) *ScoringClient { return serve.NewClient(baseURL) }
