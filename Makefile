@@ -3,11 +3,11 @@
 #   make build   compile everything
 #   make test    tier-1 verification (go build + go test)
 #   make race    race-detector pass over the concurrent serving path
-#   make check   full gate: vet + build + tests + race (run before merging)
+#   make check   full gate: fmt + vet + build + tests + race (run before merging)
 
 GO ?= go
 
-.PHONY: build test race vet check
+.PHONY: build test race vet fmt check
 
 build:
 	$(GO) build ./...
@@ -18,10 +18,14 @@ test: build
 vet:
 	$(GO) vet ./...
 
-# The serving path shares one pipeline across handler goroutines; keep it
-# provably race-clean.
+# The serving path shares one pipeline across handler goroutines and the
+# registry hot-swaps it under live traffic; keep both provably race-clean.
 race:
-	$(GO) test -race ./internal/serve/... ./internal/obs/... ./cmd/tasqd/...
+	$(GO) test -race ./internal/serve/... ./internal/obs/... ./internal/registry/... ./cmd/tasqd/...
 
-check: vet test race
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt: needs formatting:"; echo "$$out"; exit 1; fi
+
+check: fmt vet test race
 	@echo "check: ok"

@@ -8,22 +8,32 @@
 //	tasq generate -n 1000 -seed 1 -out repo.jsonl [-scale 1.0]
 //	tasq stats    -data repo.jsonl
 //	tasq train    -data repo.jsonl -out model.gob [-loss LF2] [-skip-gnn]
+//	              [-registry models/ -eval-data test.jsonl -notes "..."]
 //	tasq evaluate -data test.jsonl -model model.gob
 //	tasq simulate -data repo.jsonl -job <id> -tokens 40
 //	tasq select   -data repo.jsonl -k 8 -sample 200 -seed 1
 //	tasq flight   -data repo.jsonl -k 8 -sample 100 -seed 1
 //	tasq score    -data repo.jsonl -model model.gob -job <id> [-threshold 0.01]
+//	tasq registry <list|show|pin|unpin|gc> -dir models/ [-version N] [-keep N]
+//
+// With -registry, train publishes the model into the versioned model
+// store that tasqd serves from (and hot-reloads); the registry
+// subcommand manages the store's lifecycle: inspect manifests, pin the
+// serving version while candidates shadow-score, and prune old versions.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"strings"
 
 	"tasq/internal/arepas"
 	"tasq/internal/flight"
 	"tasq/internal/jobrepo"
+	"tasq/internal/registry"
 	"tasq/internal/scopesim"
 	"tasq/internal/selection"
 	"tasq/internal/stats"
@@ -60,6 +70,8 @@ func run(args []string) error {
 		return cmdFlight(args[1:])
 	case "score":
 		return cmdScore(args[1:])
+	case "registry":
+		return cmdRegistry(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -70,7 +82,7 @@ func run(args []string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: tasq <generate|stats|train|evaluate|simulate|select|flight|score> [flags]
+	fmt.Fprintln(os.Stderr, `usage: tasq <generate|stats|train|evaluate|simulate|select|flight|score|registry> [flags]
 run "tasq <subcommand> -h" for flags`)
 }
 
@@ -152,8 +164,14 @@ func cmdTrain(args []string) error {
 	skipGNN := fs.Bool("skip-gnn", false, "skip the (slow) GNN")
 	nnEpochs := fs.Int("nn-epochs", 0, "override NN epochs")
 	gnnEpochs := fs.Int("gnn-epochs", 0, "override GNN epochs")
+	registryDir := fs.String("registry", "", "also publish the model into this registry directory")
+	evalData := fs.String("eval-data", "", "held-out JSONL evaluated into the published manifest (requires -registry)")
+	notes := fs.String("notes", "", "free-form note recorded in the published manifest")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *registryDir == "" && (*evalData != "" || *notes != "") {
+		return fmt.Errorf("-eval-data and -notes only apply when publishing with -registry")
 	}
 	loss, err := parseLoss(*lossName)
 	if err != nil {
@@ -187,7 +205,146 @@ func cmdTrain(args []string) error {
 	if p.GNN != nil {
 		fmt.Printf("GNN parameters: %d\n", p.GNN.NumParams())
 	}
+	if *registryDir != "" {
+		version, err := publishTrained(p, cfg, repo.Len(), *registryDir, *evalData, *notes)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("published v%d -> %s\n", version, *registryDir)
+	}
 	return nil
+}
+
+// publishTrained pushes a trained pipeline into the model registry, with
+// an optional held-out evaluation folded into the manifest so promotion
+// can be judged without reloading the model.
+func publishTrained(p *trainer.Pipeline, cfg trainer.Config, jobs int, dir, evalData, notes string) (int, error) {
+	reg, err := registry.Open(dir)
+	if err != nil {
+		return 0, err
+	}
+	m := registry.Manifest{
+		Train: registry.SummarizeTraining(cfg, jobs),
+		Notes: notes,
+	}
+	if evalData != "" {
+		test, err := jobrepo.LoadFile(evalData)
+		if err != nil {
+			return 0, err
+		}
+		evals, err := p.EvaluateHistorical(test.All())
+		if err != nil {
+			return 0, err
+		}
+		m.EvalMetrics = make(map[string]float64, len(evals))
+		for _, e := range evals {
+			m.EvalMetrics["runtime_median_ae_"+metricKey(e.Model)] = e.RuntimeMedianAE
+		}
+	}
+	return reg.PublishPipeline(p, m)
+}
+
+// metricKey flattens a model name ("XGBoost SS") into a metric-safe
+// suffix ("xgboost_ss").
+func metricKey(model string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '_'
+		}
+	}, model)
+}
+
+// cmdRegistry manages the model store: list and show manifests, pin the
+// serving version, and prune old versions.
+func cmdRegistry(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: tasq registry <list|show|pin|unpin|gc> [flags]")
+	}
+	action := args[0]
+	fs := flag.NewFlagSet("registry "+action, flag.ContinueOnError)
+	dir := fs.String("dir", "models", "registry directory")
+	version := fs.Int("version", 0, "target version (show, pin)")
+	keep := fs.Int("keep", 5, "versions to retain (gc)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	reg, err := registry.Open(*dir)
+	if err != nil {
+		return err
+	}
+	switch action {
+	case "list":
+		ms, err := reg.List()
+		if err != nil {
+			return err
+		}
+		pinned, err := reg.Pinned()
+		if err != nil {
+			return err
+		}
+		if len(ms) == 0 {
+			fmt.Println("registry is empty")
+			return nil
+		}
+		fmt.Printf("%-8s %-20s %-10s %-6s %-8s %s\n", "VERSION", "CREATED", "SIZE", "LOSS", "JOBS", "NOTES")
+		for _, m := range ms {
+			marker := ""
+			if m.Version == pinned {
+				marker = " (pinned)"
+			}
+			fmt.Printf("v%04d%-3s %-20s %-10d %-6s %-8d %s\n",
+				m.Version, marker, m.CreatedAt.Format("2006-01-02 15:04:05"),
+				m.SizeBytes, m.Train.Loss, m.Train.Jobs, m.Notes)
+		}
+		return nil
+	case "show":
+		if *version == 0 {
+			v, err := reg.Latest()
+			if err != nil {
+				return err
+			}
+			*version = v
+		}
+		m, err := reg.Manifest(*version)
+		if err != nil {
+			return err
+		}
+		out, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	case "pin":
+		if *version == 0 {
+			return fmt.Errorf("pin requires -version")
+		}
+		if err := reg.Pin(*version); err != nil {
+			return err
+		}
+		fmt.Printf("pinned v%d\n", *version)
+		return nil
+	case "unpin":
+		if err := reg.Unpin(); err != nil {
+			return err
+		}
+		fmt.Println("unpinned")
+		return nil
+	case "gc":
+		removed, err := reg.GC(*keep)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("removed %d version(s) %v, kept %d\n", len(removed), removed, *keep)
+		return nil
+	default:
+		return fmt.Errorf("unknown registry action %q (want list, show, pin, unpin or gc)", action)
+	}
 }
 
 func cmdEvaluate(args []string) error {

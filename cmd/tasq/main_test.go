@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"tasq/internal/registry"
 )
 
 // TestCLIWorkflow drives the full generate → stats → train → evaluate →
@@ -69,6 +71,80 @@ func TestCLIUnknownJob(t *testing.T) {
 	}
 	if err := run([]string{"score", "-data", repo, "-model", model, "-job", "nope"}); err == nil {
 		t.Fatal("unknown job accepted by score")
+	}
+}
+
+// TestCLIRegistryLifecycle drives the model-store lifecycle through
+// run(): train-and-publish twice, list, pin, show, gc, unpin.
+func TestCLIRegistryLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	repo := filepath.Join(dir, "repo.jsonl")
+	model := filepath.Join(dir, "model.gob")
+	store := filepath.Join(dir, "models")
+
+	if err := run([]string{"generate", "-n", "40", "-seed", "5", "-scale", "0.25", "-out", repo}); err != nil {
+		t.Fatal(err)
+	}
+	train := []string{"train", "-data", repo, "-out", model, "-nn-epochs", "5", "-skip-gnn",
+		"-registry", store, "-eval-data", repo, "-notes", "first"}
+	if err := run(train); err != nil {
+		t.Fatalf("train+publish: %v", err)
+	}
+	if err := run(train); err != nil {
+		t.Fatalf("second publish: %v", err)
+	}
+
+	reg, err := registry.Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := reg.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("published %d versions, want 2", len(ms))
+	}
+	if ms[0].Train.Jobs != 40 || ms[0].Notes != "first" {
+		t.Fatalf("manifest %+v", ms[0])
+	}
+	if len(ms[0].EvalMetrics) == 0 {
+		t.Fatal("eval metrics missing from manifest")
+	}
+
+	steps := [][]string{
+		{"registry", "list", "-dir", store},
+		{"registry", "show", "-dir", store},
+		{"registry", "show", "-dir", store, "-version", "1"},
+		{"registry", "pin", "-dir", store, "-version", "1"},
+		{"registry", "gc", "-dir", store, "-keep", "1"},
+		{"registry", "unpin", "-dir", store},
+	}
+	for _, args := range steps {
+		if err := run(args); err != nil {
+			t.Fatalf("tasq %v: %v", args, err)
+		}
+	}
+	// gc -keep 1 with v1 pinned keeps both the pinned v1 and newest v2.
+	vs, err := reg.Versions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 {
+		t.Fatalf("versions after pinned gc: %v", vs)
+	}
+
+	if err := run([]string{"registry"}); err == nil {
+		t.Fatal("registry without action accepted")
+	}
+	if err := run([]string{"registry", "frobnicate", "-dir", store}); err == nil {
+		t.Fatal("unknown registry action accepted")
+	}
+	if err := run([]string{"registry", "pin", "-dir", store}); err == nil {
+		t.Fatal("pin without -version accepted")
+	}
+	if err := run([]string{"train", "-data", repo, "-out", model, "-eval-data", repo}); err == nil {
+		t.Fatal("-eval-data without -registry accepted")
 	}
 }
 

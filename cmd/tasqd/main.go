@@ -1,12 +1,24 @@
 // Command tasqd serves PCC predictions over HTTP — the deployed model
-// endpoint of the paper's Figure 4 system integration. It loads a pipeline
-// trained and persisted with "tasq train" and exposes:
+// endpoint of the paper's Figure 4 system integration. It serves a
+// pipeline trained with "tasq train", either from a plain model file
+// (-model) or live from a versioned model registry (-registry), and
+// exposes:
 //
-//	GET  /healthz         liveness probe
-//	GET  /readyz          readiness probe (503 while draining)
-//	GET  /metrics         Prometheus text-format metrics
-//	POST /v1/score        job scoring (see internal/serve for the schema)
-//	POST /v1/score/batch  concurrent batch scoring
+//	GET  /healthz          liveness probe
+//	GET  /readyz           readiness probe (503 while draining)
+//	GET  /metrics          Prometheus text-format metrics
+//	POST /v1/score         job scoring (see internal/serve for the schema)
+//	POST /v1/score/batch   concurrent batch scoring
+//	POST /v1/admin/reload  immediate registry sync (registry mode)
+//
+// In registry mode the daemon never restarts to pick up a new model: it
+// serves the pinned version (or the latest when nothing is pinned), polls
+// the registry every -poll for new publishes, hot-swaps generations
+// atomically under live traffic, and re-syncs on SIGHUP or an admin
+// reload. When a version newer than the pin exists, a -shadow-sample
+// fraction of live requests is mirrored through it and per-candidate
+// divergence metrics are exported on /metrics, so promotion (repinning or
+// unpinning) can be judged from real traffic.
 //
 // The daemon shuts down gracefully: on SIGINT/SIGTERM it flips /readyz to
 // draining, waits the readiness grace period so load balancers stop
@@ -16,6 +28,7 @@
 // Usage:
 //
 //	tasqd -model model.gob -addr :8080 -drain 15s
+//	tasqd -registry models/ -poll 10s -shadow-sample 0.25 -addr :8080
 package main
 
 import (
@@ -32,6 +45,7 @@ import (
 	"time"
 
 	"tasq/internal/obs"
+	"tasq/internal/registry"
 	"tasq/internal/serve"
 	"tasq/internal/trainer"
 )
@@ -52,6 +66,9 @@ func main() {
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("tasqd", flag.ContinueOnError)
 	model := fs.String("model", "model.gob", "trained model path (from 'tasq train')")
+	registryDir := fs.String("registry", "", "model registry directory; takes precedence over -model and enables hot reload")
+	poll := fs.Duration("poll", serve.DefaultPollInterval, "registry poll interval")
+	shadowSample := fs.Float64("shadow-sample", 1.0, "fraction of score requests mirrored to the shadow candidate (0 disables, 1 mirrors all)")
 	addr := fs.String("addr", ":8080", "listen address")
 	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown deadline for in-flight requests")
 	grace := fs.Duration("grace", 0, "wait after flipping /readyz to draining before closing the listener")
@@ -64,20 +81,62 @@ func run(ctx context.Context, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p, err := trainer.LoadPipelineFile(*model)
-	if err != nil {
-		return err
-	}
-	opts := []serve.Option{}
+	opts := []serve.Option{serve.WithShadowSampleRate(*shadowSample)}
 	if !*quiet {
 		opts = append(opts, serve.WithLogger(obs.NewLogger(os.Stderr)))
 	}
 	if *workers > 0 {
 		opts = append(opts, serve.WithWorkers(*workers))
 	}
-	srv, err := serve.NewServer(p, opts...)
-	if err != nil {
-		return err
+
+	var srv *serve.Server
+	var source string
+	if *registryDir != "" {
+		// Registry mode: sync the pinned/latest version before the
+		// listener opens, then hot-reload from the poller, SIGHUP and
+		// the admin endpoint.
+		reg, err := registry.Open(*registryDir)
+		if err != nil {
+			return err
+		}
+		srv, err = serve.NewUnloadedServer(opts...)
+		if err != nil {
+			return err
+		}
+		reloader := serve.NewReloader(reg, srv, *poll, log.Printf)
+		if err := reloader.Sync(); err != nil {
+			return fmt.Errorf("initial registry sync: %w", err)
+		}
+		go reloader.Run(ctx)
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-hup:
+					if err := reloader.Sync(); err != nil {
+						log.Printf("tasqd: SIGHUP reload: %v", err)
+					} else {
+						log.Printf("tasqd: SIGHUP reload: active v%d, shadow v%d",
+							srv.ActiveVersion(), srv.ShadowVersion())
+					}
+				}
+			}
+		}()
+		source = fmt.Sprintf("registry %s (v%d)", *registryDir, srv.ActiveVersion())
+	} else {
+		p, err := trainer.LoadPipelineFile(*model)
+		if err != nil {
+			return err
+		}
+		srv, err = serve.NewServer(p, opts...)
+		if err != nil {
+			return err
+		}
+		source = "model " + *model
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -87,7 +146,7 @@ func run(ctx context.Context, args []string) error {
 	if testOnListen != nil {
 		testOnListen(ln.Addr())
 	}
-	log.Printf("tasqd: serving model %s on %s", *model, ln.Addr())
+	log.Printf("tasqd: serving %s on %s", source, ln.Addr())
 
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),

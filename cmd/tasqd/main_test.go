@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"tasq/internal/jobrepo"
+	"tasq/internal/registry"
 	"tasq/internal/scopesim"
 	"tasq/internal/serve"
 	"tasq/internal/trainer"
@@ -179,6 +180,133 @@ func TestGracefulShutdownOnSIGTERM(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("daemon did not exit within the drain deadline")
+	}
+}
+
+// TestRegistryModeHotReload boots tasqd against a model registry with a
+// deliberately long poll interval, then proves both out-of-band reload
+// paths: publish v2 → POST /v1/admin/reload swaps the active model, and
+// publish v3 → SIGHUP swaps again — all without restarting the daemon,
+// observed through the /metrics version gauge and response versions.
+func TestRegistryModeHotReload(t *testing.T) {
+	g := workload.New(workload.TestConfig(11))
+	repo := jobrepo.New()
+	var ex scopesim.Executor
+	if err := repo.Ingest(g.Workload(40), &ex); err != nil {
+		t.Fatal(err)
+	}
+	cfg := trainer.DefaultConfig(11)
+	cfg.XGB.NumTrees = 10
+	cfg.SkipNN = true
+	cfg.SkipGNN = true
+	p, err := trainer.Train(repo.All(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := repo.All()[0].Job
+
+	store := filepath.Join(t.TempDir(), "models")
+	reg, err := registry.Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.PublishPipeline(p, registry.Manifest{Notes: "v1"}); err != nil {
+		t.Fatal(err)
+	}
+
+	addrCh := make(chan net.Addr, 1)
+	testOnListen = func(a net.Addr) { addrCh <- a }
+	defer func() { testOnListen = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-registry", store,
+			"-poll", "1h", // only SIGHUP/admin may trigger the swaps below
+			"-addr", "127.0.0.1:0",
+			"-quiet",
+		})
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for listener")
+	}
+	client := serve.NewClient("http://" + addr.String())
+
+	resp, err := client.Score(&serve.ScoreRequest{Job: job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ModelVersion != 1 {
+		t.Fatalf("initial model version %d, want 1", resp.ModelVersion)
+	}
+
+	// Publish v2 and reload through the admin endpoint.
+	if _, err := reg.PublishPipeline(p, registry.Manifest{Notes: "v2"}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := client.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ActiveVersion != 2 {
+		t.Fatalf("admin reload landed on v%d, want v2", out.ActiveVersion)
+	}
+
+	// Publish v3 and reload via SIGHUP.
+	if _, err := reg.PublishPipeline(p, registry.Manifest{Notes: "v3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	swapped := false
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		m, err := client.Metrics()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(m, `tasq_model_version{role="active"} 3`+"\n") {
+			swapped = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !swapped {
+		t.Fatal("SIGHUP never swapped the active model to v3")
+	}
+	resp, err = client.Score(&serve.ScoreRequest{Job: job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ModelVersion != 3 {
+		t.Fatalf("post-SIGHUP model version %d, want 3", resp.ModelVersion)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("daemon did not exit after context cancel")
+	}
+}
+
+// TestRegistryModeEmptyRegistryRefusesToStart pins the fail-fast
+// contract: with no published versions, the daemon exits with an error
+// instead of serving 503s forever.
+func TestRegistryModeEmptyRegistryRefusesToStart(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "models")
+	if err := run(context.Background(), []string{"-registry", store, "-addr", "127.0.0.1:0", "-quiet"}); err == nil {
+		t.Fatal("empty registry accepted")
 	}
 }
 

@@ -20,7 +20,11 @@
 //     models with job submission (Figure 4 of the paper): single and
 //     concurrent batch scoring, Prometheus-format /metrics, liveness and
 //     readiness probes with graceful drain, and a strict error contract
-//     (invalid requests → 400, internal pipeline failures → 500).
+//     (invalid requests → 400, internal pipeline failures → 500), and
+//   - a versioned model store (internal/registry) closes the Figure 4
+//     loop: crash-safe, checksum-verified publishes with JSON manifests,
+//     pinning and GC, zero-downtime hot reload into the scoring service,
+//     and shadow scoring of candidate models against live traffic.
 //
 // Quick start:
 //

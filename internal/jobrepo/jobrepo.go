@@ -76,9 +76,14 @@ func (r *Repository) Add(rec *Record) error {
 // Len returns the record count.
 func (r *Repository) Len() int { return len(r.records) }
 
-// All returns the records in insertion order. The slice is shared; callers
-// must not modify it.
-func (r *Repository) All() []*Record { return r.records }
+// All returns the records in insertion order. The returned slice is the
+// caller's to reorder or filter — it never aliases the repository's
+// backing array. (Query already returns a fresh slice.)
+func (r *Repository) All() []*Record {
+	out := make([]*Record, len(r.records))
+	copy(out, r.records)
+	return out
+}
 
 // Get returns the record for a job ID, or nil.
 func (r *Repository) Get(id string) *Record { return r.byID[id] }

@@ -45,6 +45,39 @@ func TestIngestAndLookup(t *testing.T) {
 	}
 }
 
+// TestAllReturnsCopy pins the aliasing contract: reordering or nilling
+// the slice returned by All (or Query) must not corrupt the repository's
+// insertion order — model training sorts and shuffles these slices
+// freely.
+func TestAllReturnsCopy(t *testing.T) {
+	repo := ingested(t, 10, 3)
+	order := make([]string, repo.Len())
+	for i, rec := range repo.All() {
+		order[i] = rec.Job.ID
+	}
+
+	stolen := repo.All()
+	for i, j := 0, len(stolen)-1; i < j; i, j = i+1, j-1 {
+		stolen[i], stolen[j] = stolen[j], stolen[i]
+	}
+	stolen[0] = nil
+
+	for i, rec := range repo.All() {
+		if rec == nil || rec.Job.ID != order[i] {
+			t.Fatalf("record %d changed after caller mutated All() result", i)
+		}
+	}
+
+	q := repo.Query(Filter{})
+	if len(q) != repo.Len() {
+		t.Fatalf("empty filter returned %d of %d", len(q), repo.Len())
+	}
+	q[0] = nil
+	if repo.All()[0] == nil || repo.All()[0].Job.ID != order[0] {
+		t.Fatal("mutating a Query result corrupted the repository")
+	}
+}
+
 func TestAddValidation(t *testing.T) {
 	repo := New()
 	if err := repo.Add(&Record{}); err == nil {

@@ -24,6 +24,13 @@ var DefBuckets = []float64{
 	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// RelDeltaBuckets are bucket bounds for relative-difference histograms
+// (dimensionless fractions), e.g. the shadow-scoring divergence between
+// two model versions: sub-0.1% agreement up to 2.5x disagreement.
+var RelDeltaBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
 // metricKind discriminates the families a Registry can hold.
 type metricKind int
 

@@ -1,0 +1,62 @@
+package registry
+
+import (
+	"bytes"
+	"fmt"
+
+	"tasq/internal/trainer"
+)
+
+// PipelineFormat names the payload framing written by PublishPipeline:
+// the trainer's magic-headed, checksummed gob stream.
+const PipelineFormat = "tasq-pipeline/v1"
+
+// PublishPipeline serializes a trained pipeline and publishes it as a new
+// version. The manifest's Format is forced to PipelineFormat; Train,
+// EvalMetrics and Notes pass through from m.
+func (r *Registry) PublishPipeline(p *trainer.Pipeline, m Manifest) (int, error) {
+	var buf bytes.Buffer
+	if err := trainer.SavePipeline(p, &buf); err != nil {
+		return 0, err
+	}
+	m.Format = PipelineFormat
+	return r.Publish(buf.Bytes(), m)
+}
+
+// GetPipeline loads and decodes the pipeline of a version, after the
+// registry-level checksum check; the trainer framing re-verifies its own
+// embedded checksum during decode.
+func (r *Registry) GetPipeline(version int) (*trainer.Pipeline, Manifest, error) {
+	payload, m, err := r.Get(version)
+	if err != nil {
+		return nil, Manifest{}, err
+	}
+	if m.Format != "" && m.Format != PipelineFormat {
+		return nil, Manifest{}, fmt.Errorf("%w: v%d holds %q, not %q", ErrManifest, version, m.Format, PipelineFormat)
+	}
+	p, err := trainer.LoadPipeline(bytes.NewReader(payload))
+	if err != nil {
+		return nil, Manifest{}, fmt.Errorf("registry: v%d: %w", version, err)
+	}
+	return p, m, nil
+}
+
+// SummarizeTraining builds the manifest TrainSummary from a training
+// configuration and dataset size.
+func SummarizeTraining(cfg trainer.Config, jobs int) TrainSummary {
+	s := TrainSummary{
+		Seed:     cfg.Seed,
+		Jobs:     jobs,
+		XGBTrees: cfg.XGB.NumTrees,
+		SkipNN:   cfg.SkipNN,
+		SkipGNN:  cfg.SkipGNN,
+	}
+	if !cfg.SkipNN {
+		s.Loss = cfg.NN.Loss.String()
+		s.NNEpochs = cfg.NN.Epochs
+	}
+	if !cfg.SkipGNN {
+		s.GNNEpochs = cfg.GNN.Epochs
+	}
+	return s
+}

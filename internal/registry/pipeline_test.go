@@ -1,0 +1,111 @@
+package registry
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tasq/internal/jobrepo"
+	"tasq/internal/scopesim"
+	"tasq/internal/trainer"
+	"tasq/internal/workload"
+)
+
+// smallPipeline trains a minimal pipeline for registry round-trips.
+func smallPipeline(t *testing.T, seed int64) (*trainer.Pipeline, trainer.Config, int) {
+	t.Helper()
+	g := workload.New(workload.TestConfig(seed))
+	repo := jobrepo.New()
+	var ex scopesim.Executor
+	if err := repo.Ingest(g.Workload(30), &ex); err != nil {
+		t.Fatal(err)
+	}
+	cfg := trainer.DefaultConfig(seed)
+	cfg.XGB.NumTrees = 8
+	cfg.SkipNN = true
+	cfg.SkipGNN = true
+	p, err := trainer.Train(repo.All(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, cfg, repo.Len()
+}
+
+func TestPublishPipelineRoundTrip(t *testing.T) {
+	r := open(t)
+	p, cfg, jobs := smallPipeline(t, 41)
+	v, err := r.PublishPipeline(p, Manifest{
+		Train:       SummarizeTraining(cfg, jobs),
+		EvalMetrics: map[string]float64{"runtime_median_ae": 0.12},
+		Notes:       "unit test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, m, err := r.GetPipeline(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Format != PipelineFormat {
+		t.Fatalf("format %q", m.Format)
+	}
+	if m.Train.Jobs != jobs || m.Train.XGBTrees != 8 || !m.Train.SkipGNN {
+		t.Fatalf("train summary %+v", m.Train)
+	}
+	if m.EvalMetrics["runtime_median_ae"] != 0.12 {
+		t.Fatalf("eval metrics %+v", m.EvalMetrics)
+	}
+	// The loaded pipeline scores identically to the original.
+	g := workload.New(workload.TestConfig(43))
+	job := g.Job()
+	c1, _, err := p.ScoreJob(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _, err := loaded.ScoreJob(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.A != c2.A || c1.B != c2.B {
+		t.Fatalf("curve changed across registry round trip: %+v vs %+v", c1, c2)
+	}
+}
+
+func TestGetPipelineRejectsForeignFormat(t *testing.T) {
+	r := open(t)
+	v, err := r.Publish([]byte("raw bytes, not a pipeline"), Manifest{Format: "other/fmt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.GetPipeline(v); !errors.Is(err, ErrManifest) {
+		t.Fatalf("foreign format error %v, want ErrManifest", err)
+	}
+}
+
+// TestGetPipelineTruncatedPayload damages the payload and refreshes the
+// registry checksum, so only the trainer-layer framing can catch it —
+// the defense in depth the two checksum layers buy.
+func TestGetPipelineTruncatedPayload(t *testing.T) {
+	r := open(t)
+	p, _, _ := smallPipeline(t, 47)
+	v, err := r.PublishPipeline(p, Manifest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(r.Root(), versionDir(v))
+	payload, err := os.ReadFile(filepath.Join(dir, payloadFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Republished as a fresh version with a truncated payload and a
+	// *valid* manifest checksum over the truncated bytes.
+	v2, err := r.Publish(payload[:len(payload)/2], Manifest{Format: PipelineFormat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = r.GetPipeline(v2)
+	if !errors.Is(err, trainer.ErrCorrupt) {
+		t.Fatalf("truncated pipeline error %v, want trainer.ErrCorrupt", err)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"runtime"
 	"sync/atomic"
@@ -63,7 +64,10 @@ type PointJSON struct {
 
 // ScoreResponse is the scoring-pipeline output.
 type ScoreResponse struct {
-	Model         string      `json:"model"`
+	Model string `json:"model"`
+	// ModelVersion is the registry version that served this score (0 =
+	// unversioned, e.g. a file-loaded model).
+	ModelVersion  int         `json:"model_version,omitempty"`
 	Curve         CurveJSON   `json:"curve"`
 	OptimalTokens int         `json:"optimal_tokens"`
 	Predictions   []PointJSON `json:"predictions"`
@@ -88,11 +92,19 @@ func reqErrf(format string, args ...any) error {
 	return &requestError{err: fmt.Errorf(format, args...)}
 }
 
-// httpStatus maps a scoring error onto the 400-vs-500 contract.
+// errNoModel is returned while no model has been loaded yet (unloaded
+// server before its first registry sync); it maps to 503 so load
+// balancers retry elsewhere instead of counting a client error.
+var errNoModel = errors.New("serve: no model loaded")
+
+// httpStatus maps a scoring error onto the 400/503/500 contract.
 func httpStatus(err error) int {
 	var re *requestError
 	if errors.As(err, &re) {
 		return http.StatusBadRequest
+	}
+	if errors.Is(err, errNoModel) {
+		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError
 }
@@ -109,11 +121,34 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("serve: status %d: %s", e.Code, e.Message)
 }
 
+// activeModel is one loaded model generation: an immutable scorer plus
+// the registry version it came from (0 = unversioned, e.g. a -model
+// file). Swaps replace the whole value through an atomic pointer, so
+// in-flight requests keep the generation they started with.
+type activeModel struct {
+	scorer  scorer
+	version int
+}
+
+// shadowModel is a candidate generation scored alongside the active one.
+// Its divergence metrics are resolved per candidate version at swap time,
+// so /metrics separates the divergence of v3-vs-v2 from v4-vs-v2.
+type shadowModel struct {
+	scorer   scorer
+	version  int
+	scores   *obs.Counter
+	failures *obs.Counter
+	disagree *obs.Counter
+	delta    *obs.Histogram
+}
+
 // Server scores jobs with a trained pipeline. One Server is shared across
-// all handler goroutines; the pipeline is treated as immutable after
-// construction.
+// all handler goroutines; each loaded model is immutable and swapped
+// atomically, so the server itself never restarts to pick up a new
+// version.
 type Server struct {
-	pipeline scorer
+	active   atomic.Pointer[activeModel]
+	shadow   atomic.Pointer[shadowModel]
 	mux      *http.ServeMux
 	reg      *obs.Registry
 	logger   *obs.Logger
@@ -121,9 +156,20 @@ type Server struct {
 	maxBatch int
 	ready    atomic.Bool
 
+	// shadowEvery samples every Nth scoring request into the shadow
+	// model; 0 disables shadow scoring.
+	shadowEvery int64
+	shadowSeq   atomic.Int64
+
+	// reloadFn, when set, is invoked by POST /v1/admin/reload to sync
+	// against the model registry immediately.
+	reloadFn atomic.Pointer[func() error]
+
 	scoreOK       *obs.Counter
 	scoreRejected *obs.Counter
 	scoreFailed   *obs.Counter
+	activeVersion *obs.Gauge
+	shadowVersion *obs.Gauge
 }
 
 // Option customizes a Server.
@@ -167,6 +213,24 @@ func WithMaxBatch(n int) Option {
 // DefaultMaxBatch is the default per-request batch item cap.
 const DefaultMaxBatch = 1024
 
+// WithShadowSampleRate sets the fraction of scoring requests that are
+// also scored by the shadow (candidate) model when one is loaded: 1
+// shadows every request, 0.1 every tenth, 0 disables shadow scoring.
+// The default is 1 — with the cheap PCC models, full mirroring is
+// affordable and gives the fastest divergence signal.
+func WithShadowSampleRate(rate float64) Option {
+	return func(s *Server) {
+		switch {
+		case rate <= 0:
+			s.shadowEvery = 0
+		case rate >= 1:
+			s.shadowEvery = 1
+		default:
+			s.shadowEvery = int64(math.Round(1 / rate))
+		}
+	}
+}
+
 // NewServer wraps a trained pipeline.
 func NewServer(p *trainer.Pipeline, opts ...Option) (*Server, error) {
 	if p == nil {
@@ -175,36 +239,123 @@ func NewServer(p *trainer.Pipeline, opts ...Option) (*Server, error) {
 	return newServer(p, opts...)
 }
 
-// newServer builds a Server over any scorer; split from NewServer so tests
-// can inject failing pipelines.
+// NewUnloadedServer builds a Server with no model yet: scoring answers
+// 503 and /readyz stays not-ready until the first SetActive — the
+// registry-backed deployment path, where a Reloader installs the model
+// before the listener opens.
+func NewUnloadedServer(opts ...Option) (*Server, error) {
+	return newServer(nil, opts...)
+}
+
+// newServer builds a Server over any scorer (nil = start unloaded); split
+// from NewServer so tests can inject failing pipelines.
 func newServer(p scorer, opts ...Option) (*Server, error) {
-	if p == nil {
-		return nil, errors.New("serve: nil pipeline")
-	}
 	s := &Server{
-		pipeline: p,
-		mux:      http.NewServeMux(),
-		reg:      obs.NewRegistry(),
-		workers:  runtime.NumCPU(),
-		maxBatch: DefaultMaxBatch,
+		mux:         http.NewServeMux(),
+		reg:         obs.NewRegistry(),
+		workers:     runtime.NumCPU(),
+		maxBatch:    DefaultMaxBatch,
+		shadowEvery: 1,
 	}
 	for _, opt := range opts {
 		opt(s)
 	}
-	s.ready.Store(true)
 
 	s.reg.SetHelp("tasq_score_jobs_total", "Jobs scored, by outcome (ok, rejected, failed).")
 	s.scoreOK = s.reg.Counter("tasq_score_jobs_total", "outcome", "ok")
 	s.scoreRejected = s.reg.Counter("tasq_score_jobs_total", "outcome", "rejected")
 	s.scoreFailed = s.reg.Counter("tasq_score_jobs_total", "outcome", "failed")
+	s.reg.SetHelp("tasq_model_version", "Registry version of the loaded model by role (active, shadow); 0 = none/unversioned.")
+	s.activeVersion = s.reg.Gauge("tasq_model_version", "role", "active")
+	s.shadowVersion = s.reg.Gauge("tasq_model_version", "role", "shadow")
+
+	if p != nil {
+		s.setActive(p, 0)
+	}
 
 	s.route("/healthz", http.HandlerFunc(s.handleHealth))
 	s.route("/readyz", http.HandlerFunc(s.handleReady))
 	s.route("/v1/score", http.HandlerFunc(s.handleScore))
 	s.route("/v1/score/batch", http.HandlerFunc(s.handleScoreBatch))
+	s.route("/v1/admin/reload", http.HandlerFunc(s.handleAdminReload))
 	s.mux.Handle("/metrics", s.reg.Handler())
 	return s, nil
 }
+
+// SetActive atomically swaps the serving model; in-flight requests finish
+// on the generation they started with. The first load also flips the
+// server ready.
+func (s *Server) SetActive(p *trainer.Pipeline, version int) error {
+	if p == nil {
+		return errors.New("serve: nil pipeline")
+	}
+	s.setActive(p, version)
+	return nil
+}
+
+func (s *Server) setActive(sc scorer, version int) {
+	first := s.active.Swap(&activeModel{scorer: sc, version: version}) == nil
+	s.activeVersion.Set(int64(version))
+	if first {
+		s.ready.Store(true)
+	}
+}
+
+// SetShadow installs a candidate model that a sample of live requests is
+// scored against; divergence metrics are labeled with the candidate
+// version.
+func (s *Server) SetShadow(p *trainer.Pipeline, version int) error {
+	if p == nil {
+		return errors.New("serve: nil pipeline")
+	}
+	s.setShadow(p, version)
+	return nil
+}
+
+func (s *Server) setShadow(sc scorer, version int) {
+	cv := fmt.Sprintf("v%d", version)
+	s.reg.SetHelp("tasq_shadow_scores_total", "Requests mirrored to the shadow candidate model.")
+	s.reg.SetHelp("tasq_shadow_score_failures_total", "Shadow candidate scoring failures (errors or invalid curves).")
+	s.reg.SetHelp("tasq_shadow_optimal_disagreement_total", "Shadow scores whose optimal-token recommendation differs from the active model's.")
+	s.reg.SetHelp("tasq_shadow_runtime_rel_delta", "Relative |candidate-active| predicted-runtime delta at the request's token cap.")
+	s.shadow.Store(&shadowModel{
+		scorer:   sc,
+		version:  version,
+		scores:   s.reg.Counter("tasq_shadow_scores_total", "candidate", cv),
+		failures: s.reg.Counter("tasq_shadow_score_failures_total", "candidate", cv),
+		disagree: s.reg.Counter("tasq_shadow_optimal_disagreement_total", "candidate", cv),
+		delta:    s.reg.Histogram("tasq_shadow_runtime_rel_delta", obs.RelDeltaBuckets, "candidate", cv),
+	})
+	s.shadowVersion.Set(int64(version))
+}
+
+// ClearShadow removes the candidate model (e.g. after promotion).
+func (s *Server) ClearShadow() {
+	s.shadow.Store(nil)
+	s.shadowVersion.Set(0)
+}
+
+// ActiveVersion returns the registry version of the serving model (0 =
+// none or unversioned).
+func (s *Server) ActiveVersion() int {
+	if m := s.active.Load(); m != nil {
+		return m.version
+	}
+	return 0
+}
+
+// ShadowVersion returns the candidate version being shadow-scored (0 =
+// none).
+func (s *Server) ShadowVersion() int {
+	if m := s.shadow.Load(); m != nil {
+		return m.version
+	}
+	return 0
+}
+
+// setReloadFunc wires the admin-reload endpoint to a registry sync; used
+// by NewReloader.
+func (s *Server) setReloadFunc(fn func() error) { s.reloadFn.Store(&fn) }
 
 // route mounts a handler wrapped with per-route metrics and logging.
 func (s *Server) route(pattern string, h http.Handler) {
@@ -302,7 +453,12 @@ func (s *Server) score(req *ScoreRequest) (*ScoreResponse, error) {
 		}
 	}
 
-	curve, model, err := s.pipeline.ScoreJob(req.Job)
+	active := s.active.Load()
+	if active == nil {
+		s.scoreFailed.Inc()
+		return nil, errNoModel
+	}
+	curve, model, err := active.scorer.ScoreJob(req.Job)
 	if err != nil {
 		s.scoreFailed.Inc()
 		return nil, fmt.Errorf("serve: scoring: %w", err)
@@ -324,6 +480,7 @@ func (s *Server) score(req *ScoreRequest) (*ScoreResponse, error) {
 	}
 	resp := &ScoreResponse{
 		Model:         model,
+		ModelVersion:  active.version,
 		Curve:         CurveJSON{A: curve.A, B: curve.B},
 		OptimalTokens: curve.OptimalTokens(1, maxTokens, threshold),
 	}
@@ -338,7 +495,36 @@ func (s *Server) score(req *ScoreRequest) (*ScoreResponse, error) {
 		})
 	}
 	s.scoreOK.Inc()
+	s.shadowScore(req, curve, resp.OptimalTokens, maxTokens, threshold)
 	return resp, nil
+}
+
+// shadowScore mirrors a sampled request into the candidate model and
+// records the divergence between the two generations: the relative
+// predicted-runtime delta at the request's token cap and whether the
+// optimal-token recommendations disagree. Promotion is judged from these
+// series on /metrics.
+func (s *Server) shadowScore(req *ScoreRequest, activeCurve pcc.Curve, activeOpt, maxTokens int, threshold float64) {
+	sh := s.shadow.Load()
+	if sh == nil || s.shadowEvery <= 0 {
+		return
+	}
+	if (s.shadowSeq.Add(1)-1)%s.shadowEvery != 0 {
+		return
+	}
+	sh.scores.Inc()
+	curve, _, err := sh.scorer.ScoreJob(req.Job)
+	if err != nil || !curve.Valid() {
+		sh.failures.Inc()
+		return
+	}
+	if curve.OptimalTokens(1, maxTokens, threshold) != activeOpt {
+		sh.disagree.Inc()
+	}
+	activeRT := activeCurve.Runtime(float64(maxTokens))
+	if activeRT > 0 {
+		sh.delta.Observe(math.Abs(curve.Runtime(float64(maxTokens))-activeRT) / activeRT)
+	}
 }
 
 // defaultCandidates spreads ten points over [1, max].

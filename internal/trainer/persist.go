@@ -1,52 +1,143 @@
 package trainer
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 )
 
-// The pipeline persists as a single gob stream — the "model binary" of the
-// paper's Figure 4 model store. All reachable state (boosted trees, neural
-// weights, scalers, parameter scaling, configuration) round-trips.
+// The pipeline persists as a framed gob stream — the "model binary" of the
+// paper's Figure 4 model store. A fixed magic header and a format version
+// precede the gob payload so a corrupted, truncated or foreign file fails
+// with a typed error instead of a raw gob decode error, and so future
+// format migrations can dispatch on the version. All reachable state
+// (boosted trees, neural weights, scalers, parameter scaling,
+// configuration) round-trips.
 
-// SavePipeline writes the pipeline to w.
+// pipelineMagic identifies a TASQ pipeline file. Eight bytes, never
+// reused across incompatible layouts.
+var pipelineMagic = [8]byte{'T', 'A', 'S', 'Q', 'P', 'C', 'C', '\n'}
+
+// PipelineFormatVersion is the current on-disk format version written
+// after the magic header.
+const PipelineFormatVersion uint32 = 1
+
+// Typed persistence errors. Callers distinguish "not one of ours"
+// (ErrBadMagic), "ours but from the future" (ErrFormatVersion) and "ours
+// but damaged" (ErrCorrupt) via errors.Is.
+var (
+	// ErrBadMagic means the stream does not start with the pipeline
+	// magic header — a foreign, pre-versioning or truncated-at-birth
+	// file.
+	ErrBadMagic = errors.New("trainer: not a TASQ pipeline file (bad magic header)")
+	// ErrFormatVersion means the magic matched but the format version is
+	// not one this build can read.
+	ErrFormatVersion = errors.New("trainer: unsupported pipeline format version")
+	// ErrCorrupt means the header was intact but the payload failed to
+	// decode — a truncated or bit-flipped stream.
+	ErrCorrupt = errors.New("trainer: corrupt pipeline payload")
+)
+
+// SavePipeline writes the pipeline to w: magic header, format version,
+// payload length, gob payload, then the SHA-256 of the payload. The
+// trailing digest lets LoadPipeline reject a bit-flipped payload that
+// still happens to be well-formed gob.
 func SavePipeline(p *Pipeline, w io.Writer) error {
 	if p == nil {
 		return errors.New("trainer: nil pipeline")
 	}
-	if err := gob.NewEncoder(w).Encode(p); err != nil {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(p); err != nil {
 		return fmt.Errorf("trainer: encoding pipeline: %w", err)
+	}
+	if _, err := w.Write(pipelineMagic[:]); err != nil {
+		return fmt.Errorf("trainer: writing header: %w", err)
+	}
+	if err := binary.Write(w, binary.BigEndian, PipelineFormatVersion); err != nil {
+		return fmt.Errorf("trainer: writing format version: %w", err)
+	}
+	if err := binary.Write(w, binary.BigEndian, uint64(payload.Len())); err != nil {
+		return fmt.Errorf("trainer: writing payload length: %w", err)
+	}
+	sum := sha256.Sum256(payload.Bytes())
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("trainer: writing payload: %w", err)
+	}
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("trainer: writing checksum: %w", err)
 	}
 	return nil
 }
 
-// LoadPipeline reads a pipeline from r.
+// maxPipelineBytes bounds the payload length a loader will buffer, so a
+// corrupt length field cannot trigger a giant allocation.
+const maxPipelineBytes = 1 << 32
+
+// LoadPipeline reads a pipeline from r, verifying the magic header,
+// format version and payload checksum before decoding.
 func LoadPipeline(r io.Reader) (*Pipeline, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrBadMagic, err)
+	}
+	if !bytes.Equal(magic[:], pipelineMagic[:]) {
+		return nil, fmt.Errorf("%w: got %q", ErrBadMagic, magic[:])
+	}
+	var version uint32
+	if err := binary.Read(r, binary.BigEndian, &version); err != nil {
+		return nil, fmt.Errorf("%w: reading format version: %v", ErrCorrupt, err)
+	}
+	if version != PipelineFormatVersion {
+		return nil, fmt.Errorf("%w: file version %d, this build reads %d",
+			ErrFormatVersion, version, PipelineFormatVersion)
+	}
+	var length uint64
+	if err := binary.Read(r, binary.BigEndian, &length); err != nil {
+		return nil, fmt.Errorf("%w: reading payload length: %v", ErrCorrupt, err)
+	}
+	if length > maxPipelineBytes {
+		return nil, fmt.Errorf("%w: implausible payload length %d", ErrCorrupt, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: reading payload: %v", ErrCorrupt, err)
+	}
+	var want [sha256.Size]byte
+	if _, err := io.ReadFull(r, want[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading checksum: %v", ErrCorrupt, err)
+	}
+	if got := sha256.Sum256(payload); got != want {
+		return nil, fmt.Errorf("%w: payload checksum mismatch", ErrCorrupt)
+	}
 	var p Pipeline
-	if err := gob.NewDecoder(r).Decode(&p); err != nil {
-		return nil, fmt.Errorf("trainer: decoding pipeline: %w", err)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("%w: decoding: %v", ErrCorrupt, err)
 	}
 	if p.XGB == nil || p.JobScaler == nil {
-		return nil, errors.New("trainer: decoded pipeline is incomplete")
+		return nil, fmt.Errorf("%w: decoded pipeline is incomplete", ErrCorrupt)
 	}
 	return &p, nil
 }
 
-// SavePipelineFile writes the pipeline to a file.
-func SavePipelineFile(p *Pipeline, path string) (err error) {
-	f, err := os.Create(path)
-	if err != nil {
+// SavePipelineFile writes the pipeline to a file atomically: the payload
+// goes to a temp file in the target directory, is fsynced, and is renamed
+// over the destination, so a crash mid-save can never truncate an
+// existing model binary.
+func SavePipelineFile(p *Pipeline, path string) error {
+	if p == nil {
+		return errors.New("trainer: nil pipeline")
+	}
+	var buf bytes.Buffer
+	if err := SavePipeline(p, &buf); err != nil {
 		return err
 	}
-	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-	}()
-	return SavePipeline(p, f)
+	return WriteFileAtomic(path, buf.Bytes())
 }
 
 // LoadPipelineFile reads a pipeline from a file.
@@ -57,4 +148,49 @@ func LoadPipelineFile(path string) (*Pipeline, error) {
 	}
 	defer f.Close()
 	return LoadPipeline(f)
+}
+
+// WriteFileAtomic writes data to path via a temp file in the same
+// directory, fsyncing the file before the rename and the directory after
+// it, so the destination is only ever absent, the old content, or the
+// complete new content.
+func WriteFileAtomic(path string, data []byte) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err = tmp.Write(data); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a rename into it survives a crash. The
+// sync itself is best-effort: some filesystems (network mounts, tmpfs on
+// certain kernels) refuse directory fsync with EINVAL, and that is not
+// worth failing a completed save over.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
 }

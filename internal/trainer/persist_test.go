@@ -2,7 +2,9 @@ package trainer
 
 import (
 	"bytes"
+	"errors"
 	"math"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -82,10 +84,124 @@ func TestPipelinePersistenceFile(t *testing.T) {
 }
 
 func TestLoadPipelineRejectsGarbage(t *testing.T) {
-	if _, err := LoadPipeline(strings.NewReader("junk")); err == nil {
-		t.Fatal("garbage accepted")
+	if _, err := LoadPipeline(strings.NewReader("junk")); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("garbage error %v, want ErrBadMagic", err)
 	}
 	if err := SavePipeline(nil, &bytes.Buffer{}); err == nil {
 		t.Fatal("nil pipeline accepted")
+	}
+	if err := SavePipelineFile(nil, "unused"); err == nil {
+		t.Fatal("nil pipeline accepted by file save")
+	}
+}
+
+// savedPipelineBytes trains a small pipeline once and returns its
+// serialized form for the corruption tests.
+func savedPipelineBytes(t *testing.T) []byte {
+	t.Helper()
+	train, _ := dataset(t, 30, 0, 25)
+	cfg := fastConfig(26)
+	cfg.SkipGNN = true
+	cfg.SkipNN = true
+	p, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SavePipeline(p, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLoadPipelineCorruption pins the typed-error contract: a foreign
+// file, an unsupported format version and a truncated or bit-flipped
+// payload each fail with a distinct sentinel, and none of them ever
+// yields a pipeline value.
+func TestLoadPipelineCorruption(t *testing.T) {
+	good := savedPipelineBytes(t)
+
+	check := func(t *testing.T, data []byte, want error) {
+		t.Helper()
+		p, err := LoadPipeline(bytes.NewReader(data))
+		if p != nil {
+			t.Fatal("corrupt stream produced a pipeline")
+		}
+		if !errors.Is(err, want) {
+			t.Fatalf("error %v, want %v", err, want)
+		}
+	}
+
+	t.Run("foreign file", func(t *testing.T) {
+		check(t, []byte("PK\x03\x04 definitely a zip, not a model"), ErrBadMagic)
+	})
+	t.Run("empty file", func(t *testing.T) {
+		check(t, nil, ErrBadMagic)
+	})
+	t.Run("future format version", func(t *testing.T) {
+		data := append([]byte(nil), good...)
+		data[8] = 0xff // big-endian version field follows the 8-byte magic
+		check(t, data, ErrFormatVersion)
+	})
+	t.Run("truncated gob stream", func(t *testing.T) {
+		check(t, good[:len(good)/2], ErrCorrupt)
+	})
+	t.Run("truncated before payload", func(t *testing.T) {
+		check(t, good[:10], ErrCorrupt)
+	})
+	t.Run("flipped payload byte", func(t *testing.T) {
+		data := append([]byte(nil), good...)
+		data[len(data)/2] ^= 0xff
+		// A flipped byte either breaks gob framing (ErrCorrupt) or, in
+		// the worst case, decodes to a structurally incomplete pipeline;
+		// both must surface as ErrCorrupt, never as a usable value.
+		check(t, data, ErrCorrupt)
+	})
+}
+
+// TestSavePipelineFileAtomic crashes a save halfway (via a full target
+// file already in place) and checks the original survives intact: the
+// temp-file + rename protocol never truncates the destination, and no
+// temp droppings are left behind on success.
+func TestSavePipelineFileAtomic(t *testing.T) {
+	train, _ := dataset(t, 30, 0, 27)
+	cfg := fastConfig(28)
+	cfg.SkipGNN = true
+	cfg.SkipNN = true
+	p, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.gob")
+	if err := SavePipelineFile(p, path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite in place: the file must be replaced, not appended or
+	// truncated mid-write.
+	if err := SavePipelineFile(p, path); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("deterministic pipeline serialized differently across saves")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp files left behind: %d entries in %s", len(entries), dir)
+	}
+	// Saving into a missing directory fails without touching anything.
+	if err := SavePipelineFile(p, filepath.Join(dir, "no-such-dir", "m.gob")); err == nil {
+		t.Fatal("save into missing directory accepted")
 	}
 }

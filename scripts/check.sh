@@ -1,15 +1,23 @@
 #!/bin/sh
-# Full verification gate, equivalent to `make check`: vet, build, tier-1
-# tests, and a race-detector pass over the concurrent serving path.
+# Full verification gate, equivalent to `make check`: formatting, vet,
+# build, tier-1 tests, and a race-detector pass over the concurrent
+# serving path.
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 echo "== go vet"
 go vet ./...
 echo "== go build"
 go build ./...
 echo "== go test"
 go test ./...
-echo "== go test -race (serving path)"
-go test -race ./internal/serve/... ./internal/obs/... ./cmd/tasqd/...
+echo "== go test -race (serving + registry path)"
+go test -race ./internal/serve/... ./internal/obs/... ./internal/registry/... ./cmd/tasqd/...
 echo "check: ok"

@@ -2,11 +2,13 @@ package tasq
 
 import (
 	"math/rand"
+	"time"
 
 	"tasq/internal/arepas"
 	"tasq/internal/flight"
 	"tasq/internal/jobrepo"
 	"tasq/internal/pcc"
+	"tasq/internal/registry"
 	"tasq/internal/scheduler"
 	"tasq/internal/scopesim"
 	"tasq/internal/selection"
@@ -87,6 +89,13 @@ type (
 	// ScoringStatusError carries the HTTP status of a failed scoring call,
 	// distinguishing invalid requests (400) from service failures (500).
 	ScoringStatusError = serve.StatusError
+	// ModelRegistry is the versioned model store of Figure 4: atomic
+	// publish, checksum-verified load, pinning and GC.
+	ModelRegistry = registry.Registry
+	// ModelManifest describes one published registry version.
+	ModelManifest = registry.Manifest
+	// ModelReloader hot-swaps a ScoringServer against a ModelRegistry.
+	ModelReloader = serve.Reloader
 )
 
 // Loss kinds for the constrained neural models (§4.5 of the paper).
@@ -169,6 +178,22 @@ func NewScoringServer(p *Pipeline, opts ...ScoringOption) (*ScoringServer, error
 
 // NewScoringClient returns a client for a scoring service base URL.
 func NewScoringClient(baseURL string) *ScoringClient { return serve.NewClient(baseURL) }
+
+// NewUnloadedScoringServer returns a scoring server with no model yet;
+// it answers 503 until a ModelReloader (or SetActive) installs one.
+func NewUnloadedScoringServer(opts ...ScoringOption) (*ScoringServer, error) {
+	return serve.NewUnloadedServer(opts...)
+}
+
+// OpenModelRegistry opens (creating if needed) a versioned model store
+// rooted at dir.
+func OpenModelRegistry(dir string) (*ModelRegistry, error) { return registry.Open(dir) }
+
+// NewModelReloader wires a ScoringServer to a ModelRegistry: Sync once
+// before serving, then Run in a goroutine for hot reload.
+func NewModelReloader(reg *ModelRegistry, srv *ScoringServer, interval time.Duration) *ModelReloader {
+	return serve.NewReloader(reg, srv, interval, nil)
+}
 
 // MedianAPE returns the median absolute percentage error (as a fraction)
 // between predictions and ground truth.
