@@ -1,13 +1,15 @@
 # Development targets for the TASQ reproduction.
 #
-#   make build   compile everything
-#   make test    tier-1 verification (go build + go test)
-#   make race    race-detector pass over the concurrent serving path
-#   make check   full gate: fmt + vet + build + tests + race (run before merging)
+#   make build     compile everything
+#   make test      tier-1 verification (go build + go test)
+#   make race      race-detector pass over the concurrent paths
+#   make check     full gate: fmt + vet + build + tests + race (run before merging)
+#   make coverage  coverage profile with the fail-below-baseline floor
+#   make bench     per-stage pipeline benchmarks -> BENCH_pipeline.json
 
 GO ?= go
 
-.PHONY: build test race vet fmt check
+.PHONY: build test race vet fmt check coverage bench
 
 build:
 	$(GO) build ./...
@@ -19,9 +21,18 @@ vet:
 	$(GO) vet ./...
 
 # The serving path shares one pipeline across handler goroutines and the
-# registry hot-swaps it under live traffic; keep both provably race-clean.
+# registry hot-swaps it under live traffic; the offline pipeline fans out
+# ingest/augmentation/training/experiments across a worker pool. Keep all
+# of it provably race-clean (mirrors scripts/check.sh).
 race:
 	$(GO) test -race ./internal/serve/... ./internal/obs/... ./internal/registry/... ./cmd/tasqd/...
+	$(GO) test -race ./internal/parallel/... ./internal/flight/... ./internal/trainer/... ./internal/experiments/...
+
+coverage:
+	scripts/coverage.sh
+
+bench:
+	scripts/bench.sh
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -30,6 +30,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 7, "random seed")
 	out := fs.String("out", "", "also write the report to this file")
 	only := fs.String("only", "", "run only experiments whose ID contains this substring")
+	workers := fs.Int("workers", 0, "worker goroutines for suite build and experiments (0 = all CPUs, 1 = serial; results are identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -43,6 +44,7 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown size %q (want small or full)", *size)
 	}
+	cfg.Workers = *workers
 
 	fmt.Fprintf(os.Stderr, "building suite (%d train / %d test jobs)...\n", cfg.TrainJobs, cfg.TestJobs)
 	suite, err := experiments.NewSuite(cfg)

@@ -92,6 +92,7 @@ func cmdGenerate(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	scale := fs.Float64("scale", 1.0, "workload size scale")
 	out := fs.String("out", "repo.jsonl", "output JSONL path")
+	workers := fs.Int("workers", 0, "worker goroutines for job execution (0 = all CPUs, 1 = serial; output is identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -103,7 +104,7 @@ func cmdGenerate(args []string) error {
 		j.Anonymize(i)
 	}
 	repo := jobrepo.New()
-	if err := repo.Ingest(jobs, &scopesim.Executor{}); err != nil {
+	if err := repo.IngestParallel(jobs, &scopesim.Executor{}, *workers); err != nil {
 		return err
 	}
 	if err := repo.SaveFile(*out); err != nil {
@@ -167,6 +168,7 @@ func cmdTrain(args []string) error {
 	registryDir := fs.String("registry", "", "also publish the model into this registry directory")
 	evalData := fs.String("eval-data", "", "held-out JSONL evaluated into the published manifest (requires -registry)")
 	notes := fs.String("notes", "", "free-form note recorded in the published manifest")
+	workers := fs.Int("workers", 0, "worker goroutines for target building and augmentation (0 = all CPUs, 1 = serial; the trained model is identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -185,6 +187,7 @@ func cmdTrain(args []string) error {
 	cfg.NN.Loss = loss
 	cfg.GNN.Loss = loss
 	cfg.SkipGNN = *skipGNN
+	cfg.Workers = *workers
 	if *nnEpochs > 0 {
 		cfg.NN.Epochs = *nnEpochs
 	}

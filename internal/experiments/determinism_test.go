@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// determinismConfig is deliberately tiny: the point is comparing two full
+// suite builds byte-for-byte, not statistical fidelity.
+func determinismConfig(workers int) SuiteConfig {
+	cfg := SmallConfig(21)
+	cfg.TrainJobs = 60
+	cfg.TestJobs = 30
+	cfg.FlightSample = 12
+	cfg.Selection.SampleSize = 12
+	cfg.Trainer.XGB.NumTrees = 10
+	cfg.Trainer.NN.Epochs = 10
+	cfg.Trainer.GNN.Epochs = 1
+	cfg.Workers = workers
+	return cfg
+}
+
+// TestSuiteDeterministicAcrossWorkerCounts is the acceptance proof for the
+// parallel offline pipeline: at a fixed seed, Workers=1 (the serial legacy
+// path) and Workers=8 must produce identical training sets, identical
+// fitted (a, b) PCC target parameters, an identical flighted dataset, and
+// identical experiment report text. Table 7 is excluded from the report
+// comparison — it renders wall-clock timings, the one intentionally
+// nondeterministic output.
+func TestSuiteDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full suite builds are slow")
+	}
+	serial, err := NewSuite(determinismConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewSuite(determinismConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical training sets: same jobs, same telemetry, same order.
+	if len(serial.Train) != len(par.Train) || len(serial.Test) != len(par.Test) {
+		t.Fatalf("split sizes differ: %d/%d vs %d/%d",
+			len(serial.Train), len(serial.Test), len(par.Train), len(par.Test))
+	}
+	for i := range serial.Train {
+		a, b := serial.Train[i], par.Train[i]
+		if a.Job.ID != b.Job.ID || a.ObservedTokens != b.ObservedTokens || a.RuntimeSeconds != b.RuntimeSeconds {
+			t.Fatalf("train record %d differs: %s/%d/%ds vs %s/%d/%ds", i,
+				a.Job.ID, a.ObservedTokens, a.RuntimeSeconds, b.Job.ID, b.ObservedTokens, b.RuntimeSeconds)
+		}
+		if len(a.Skyline) != len(b.Skyline) {
+			t.Fatalf("train record %d skyline length differs", i)
+		}
+		for s := range a.Skyline {
+			if a.Skyline[s] != b.Skyline[s] {
+				t.Fatalf("train record %d skyline second %d differs", i, s)
+			}
+		}
+	}
+
+	// Identical fitted (a, b) PCC target parameters — bit-for-bit.
+	if len(serial.Pipeline.TrainTargets) != len(par.Pipeline.TrainTargets) {
+		t.Fatal("target counts differ")
+	}
+	for i, st := range serial.Pipeline.TrainTargets {
+		pt := par.Pipeline.TrainTargets[i]
+		if math.Float64bits(st.A) != math.Float64bits(pt.A) || math.Float64bits(st.LogB) != math.Float64bits(pt.LogB) {
+			t.Fatalf("target %d differs: (a=%v, logB=%v) vs (a=%v, logB=%v)", i, st.A, st.LogB, pt.A, pt.LogB)
+		}
+	}
+
+	// Identical flighted dataset: per-job noise streams are derived from
+	// (seed, job index), never from scheduling.
+	if serial.Flights.TotalRuns != par.Flights.TotalRuns ||
+		len(serial.Flights.Jobs) != len(par.Flights.Jobs) ||
+		serial.Flights.RejectedIsolated != par.Flights.RejectedIsolated ||
+		serial.Flights.RejectedOveruse != par.Flights.RejectedOveruse ||
+		serial.Flights.RejectedNonMonotone != par.Flights.RejectedNonMonotone {
+		t.Fatalf("flight datasets differ: %+v vs %+v", statsOf(serial), statsOf(par))
+	}
+	for i := range serial.Flights.Jobs {
+		sj, pj := serial.Flights.Jobs[i], par.Flights.Jobs[i]
+		if sj.Record.Job.ID != pj.Record.Job.ID || len(sj.Runs) != len(pj.Runs) {
+			t.Fatalf("flighted job %d differs: %s/%d runs vs %s/%d runs", i,
+				sj.Record.Job.ID, len(sj.Runs), pj.Record.Job.ID, len(pj.Runs))
+		}
+		for r := range sj.Runs {
+			if sj.Runs[r].Tokens != pj.Runs[r].Tokens || sj.Runs[r].RuntimeSeconds != pj.Runs[r].RuntimeSeconds {
+				t.Fatalf("flighted job %d run %d differs", i, r)
+			}
+		}
+	}
+
+	// Identical report text, minus the wall-clock table.
+	sReport := renderWithoutTable7(RunAll(serial))
+	pReport := renderWithoutTable7(RunAll(par))
+	if sReport != pReport {
+		t.Fatalf("reports differ:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+			firstDiff(sReport, pReport), firstDiff(pReport, sReport))
+	}
+}
+
+func statsOf(s *Suite) [4]int {
+	return [4]int{len(s.Flights.Jobs), s.Flights.RejectedIsolated, s.Flights.RejectedOveruse, s.Flights.RejectedNonMonotone}
+}
+
+func renderWithoutTable7(entries []ReportEntry) string {
+	kept := entries[:0]
+	for _, e := range entries {
+		if e.ID != "Table 7" {
+			kept = append(kept, e)
+		}
+	}
+	return RenderReport(kept)
+}
+
+// firstDiff returns the first few lines around the first difference, to
+// keep failure output readable.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := range al {
+		if i >= len(bl) || al[i] != bl[i] {
+			lo := i - 2
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + 3
+			if hi > len(al) {
+				hi = len(al)
+			}
+			return strings.Join(al[lo:hi], "\n")
+		}
+	}
+	return "(no line-level difference)"
+}

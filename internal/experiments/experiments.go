@@ -13,6 +13,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"tasq/internal/flight"
@@ -39,6 +40,13 @@ type SuiteConfig struct {
 	Selection selection.Config
 	// Flight configures the §5.1 flighting protocol.
 	Flight flight.Config
+	// Workers bounds the goroutines used by suite construction (ingest,
+	// training, flighting) and by RunAll's experiment fan-out; ≤ 0 means
+	// runtime.NumCPU, 1 the serial path. It is copied into the trainer and
+	// flight configs unless those set their own count. Results are
+	// identical at any worker count (aside from Table 7's wall-clock
+	// timings).
+	Workers int
 }
 
 // SmallConfig is a fast configuration for tests and benchmarks.
@@ -89,8 +97,19 @@ type Suite struct {
 	// BuildDuration records how long suite construction took.
 	BuildDuration time.Duration
 
-	// lossPipelines caches per-loss pipeline variants for Tables 4–6.
+	// lossPipelines caches per-loss pipeline variants for Tables 4–6;
+	// lossMu guards it and lossSlots, which single-flights each loss's
+	// training so a parallel RunAll never trains the same variant twice.
+	lossMu        sync.Mutex
 	lossPipelines map[trainer.LossKind]*trainer.Pipeline
+	lossSlots     map[trainer.LossKind]*lossSlot
+}
+
+// lossSlot trains one loss variant exactly once.
+type lossSlot struct {
+	once sync.Once
+	p    *trainer.Pipeline
+	err  error
 }
 
 // newRand returns a seeded source for timing clones.
@@ -104,6 +123,13 @@ func NewSuite(cfg SuiteConfig) (*Suite, error) {
 	if cfg.TrainJobs < 10 || cfg.TestJobs < 10 {
 		return nil, fmt.Errorf("experiments: suite needs at least 10 train and test jobs, got %d/%d", cfg.TrainJobs, cfg.TestJobs)
 	}
+	// One Workers knob drives every stage unless a sub-config overrides it.
+	if cfg.Trainer.Workers == 0 {
+		cfg.Trainer.Workers = cfg.Workers
+	}
+	if cfg.Flight.Workers == 0 {
+		cfg.Flight.Workers = cfg.Workers
+	}
 	s := &Suite{Config: cfg, Executor: &scopesim.Executor{}}
 
 	gen := workload.New(cfg.Workload)
@@ -113,7 +139,7 @@ func NewSuite(cfg SuiteConfig) (*Suite, error) {
 	for i, j := range jobs {
 		j.Anonymize(i)
 	}
-	if err := repo.Ingest(jobs, s.Executor); err != nil {
+	if err := repo.IngestParallel(jobs, s.Executor, cfg.Workers); err != nil {
 		return nil, err
 	}
 	all := repo.All()

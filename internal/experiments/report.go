@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
+
+	"tasq/internal/parallel"
 )
 
 // Renderer is any experiment result that can print itself.
@@ -17,39 +20,54 @@ type ReportEntry struct {
 	Err    error
 }
 
+// experiment is one named harness of the evaluation.
+type experiment struct {
+	id string
+	f  func(*Suite) (Renderer, error)
+}
+
+// allExperiments lists every harness in paper order.
+var allExperiments = []experiment{
+	{"Figure 1", func(s *Suite) (Renderer, error) { return Figure1(s) }},
+	{"Figure 2", func(s *Suite) (Renderer, error) { return Figure2(s) }},
+	{"Figure 3", func(s *Suite) (Renderer, error) { return Figure3(s) }},
+	{"Figure 5", func(s *Suite) (Renderer, error) { return Figure5(s) }},
+	{"Figures 6/7", func(*Suite) (Renderer, error) { return Figure6And7() }},
+	{"Figure 8", func(s *Suite) (Renderer, error) { return Figure8(s) }},
+	{"Figure 9", func(s *Suite) (Renderer, error) { return Figure9(s) }},
+	{"Figure 11", func(s *Suite) (Renderer, error) { return Figure11(s) }},
+	{"Figure 12", func(s *Suite) (Renderer, error) { return Figure12(s) }},
+	{"Figure 13", func(s *Suite) (Renderer, error) { return Figure13(s) }},
+	{"§5.1 monotonicity", func(s *Suite) (Renderer, error) { return MonotonicityValidation(s) }},
+	{"Table 3", func(s *Suite) (Renderer, error) { return Table3(s) }},
+	{"Table 4", func(s *Suite) (Renderer, error) { return Table4(s) }},
+	{"Table 5", func(s *Suite) (Renderer, error) { return Table5(s) }},
+	{"Table 6", func(s *Suite) (Renderer, error) { return Table6(s) }},
+	{"Table 7", func(s *Suite) (Renderer, error) { return Table7(s) }},
+	{"Table 8", func(s *Suite) (Renderer, error) { return Table8(s) }},
+	{"Extension: simulator comparison", func(s *Suite) (Renderer, error) { return SimulatorComparison(s) }},
+	{"Extension: AutoToken baseline", func(s *Suite) (Renderer, error) { return AutoTokenComparison(s) }},
+	{"Ablation: XGBoost objective", func(s *Suite) (Renderer, error) { return AblationXGBObjective(s) }},
+	{"Ablation: target grid", func(s *Suite) (Renderer, error) { return AblationTargetGrid(s) }},
+	{"Ablation: LF2 weight", func(s *Suite) (Renderer, error) { return AblationLossWeight(s) }},
+	{"Extension: input drift", func(s *Suite) (Renderer, error) { return AblationInputDrift(s) }},
+}
+
 // RunAll executes every experiment against the suite and returns the
 // entries in paper order. Individual failures are recorded, not fatal, so
-// one degenerate sample cannot sink the whole report.
+// one degenerate sample cannot sink the whole report. The experiments run
+// concurrently under the suite's Workers knob: every harness reads the
+// suite (or retrains its own pipelines from fixed seeds) without mutating
+// it, except the Tables 4–6 loss-variant cache, which pipelineForLoss
+// single-flights. All results except Table 7's wall-clock timings are
+// independent of the worker count.
 func RunAll(s *Suite) []ReportEntry {
-	run := func(id string, f func() (Renderer, error)) ReportEntry {
-		res, err := f()
-		return ReportEntry{ID: id, Result: res, Err: err}
-	}
-	return []ReportEntry{
-		run("Figure 1", func() (Renderer, error) { return Figure1(s) }),
-		run("Figure 2", func() (Renderer, error) { return Figure2(s) }),
-		run("Figure 3", func() (Renderer, error) { return Figure3(s) }),
-		run("Figure 5", func() (Renderer, error) { return Figure5(s) }),
-		run("Figures 6/7", func() (Renderer, error) { return Figure6And7() }),
-		run("Figure 8", func() (Renderer, error) { return Figure8(s) }),
-		run("Figure 9", func() (Renderer, error) { return Figure9(s) }),
-		run("Figure 11", func() (Renderer, error) { return Figure11(s) }),
-		run("Figure 12", func() (Renderer, error) { return Figure12(s) }),
-		run("Figure 13", func() (Renderer, error) { return Figure13(s) }),
-		run("§5.1 monotonicity", func() (Renderer, error) { return MonotonicityValidation(s) }),
-		run("Table 3", func() (Renderer, error) { return Table3(s) }),
-		run("Table 4", func() (Renderer, error) { return Table4(s) }),
-		run("Table 5", func() (Renderer, error) { return Table5(s) }),
-		run("Table 6", func() (Renderer, error) { return Table6(s) }),
-		run("Table 7", func() (Renderer, error) { return Table7(s) }),
-		run("Table 8", func() (Renderer, error) { return Table8(s) }),
-		run("Extension: simulator comparison", func() (Renderer, error) { return SimulatorComparison(s) }),
-		run("Extension: AutoToken baseline", func() (Renderer, error) { return AutoTokenComparison(s) }),
-		run("Ablation: XGBoost objective", func() (Renderer, error) { return AblationXGBObjective(s) }),
-		run("Ablation: target grid", func() (Renderer, error) { return AblationTargetGrid(s) }),
-		run("Ablation: LF2 weight", func() (Renderer, error) { return AblationLossWeight(s) }),
-		run("Extension: input drift", func() (Renderer, error) { return AblationInputDrift(s) }),
-	}
+	entries, _ := parallel.Map(context.Background(), len(allExperiments), s.Config.Workers,
+		func(i int) (ReportEntry, error) {
+			res, err := allExperiments[i].f(s)
+			return ReportEntry{ID: allExperiments[i].id, Result: res, Err: err}, nil
+		})
+	return entries
 }
 
 // RenderReport concatenates all entries into one text report.

@@ -95,26 +95,39 @@ func (r *TableModelsResult) Render() string {
 
 // pipelineForLoss reuses the suite pipeline when its loss matches,
 // otherwise trains NN/GNN variants (XGBoost is loss-independent but is
-// retrained with the same seed, which reproduces identical trees).
+// retrained with the same seed, which reproduces identical trees). Safe
+// for concurrent use: each loss variant is trained exactly once, and
+// distinct losses train concurrently.
 func (s *Suite) pipelineForLoss(loss trainer.LossKind) (*trainer.Pipeline, error) {
 	if s.Pipeline != nil && s.Config.Trainer.NN.Loss == loss && s.Config.Trainer.GNN.Loss == loss {
 		return s.Pipeline, nil
 	}
-	if s.lossPipelines == nil {
-		s.lossPipelines = make(map[trainer.LossKind]*trainer.Pipeline)
+	s.lossMu.Lock()
+	if s.lossSlots == nil {
+		s.lossSlots = make(map[trainer.LossKind]*lossSlot)
 	}
-	if p, ok := s.lossPipelines[loss]; ok {
-		return p, nil
+	slot, ok := s.lossSlots[loss]
+	if !ok {
+		slot = &lossSlot{}
+		s.lossSlots[loss] = slot
 	}
-	cfg := s.Config.Trainer
-	cfg.NN.Loss = loss
-	cfg.GNN.Loss = loss
-	p, err := trainer.Train(s.Train, cfg)
-	if err != nil {
-		return nil, err
-	}
-	s.lossPipelines[loss] = p
-	return p, nil
+	s.lossMu.Unlock()
+	slot.once.Do(func() {
+		cfg := s.Config.Trainer
+		cfg.NN.Loss = loss
+		cfg.GNN.Loss = loss
+		slot.p, slot.err = trainer.Train(s.Train, cfg)
+		if slot.err != nil {
+			return
+		}
+		s.lossMu.Lock()
+		if s.lossPipelines == nil {
+			s.lossPipelines = make(map[trainer.LossKind]*trainer.Pipeline)
+		}
+		s.lossPipelines[loss] = slot.p
+		s.lossMu.Unlock()
+	})
+	return slot.p, slot.err
 }
 
 // ----------------------------------------------------------------- Table 7

@@ -13,6 +13,7 @@
 package flight
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -20,6 +21,7 @@ import (
 
 	"tasq/internal/arepas"
 	"tasq/internal/jobrepo"
+	"tasq/internal/parallel"
 	"tasq/internal/scopesim"
 	"tasq/internal/skyline"
 	"tasq/internal/stats"
@@ -43,8 +45,13 @@ type Config struct {
 	OveruseProb float64
 	// MonotoneTolerance is filter 3's slack; the paper uses 10%.
 	MonotoneTolerance float64
-	// Seed makes the experiment reproducible.
+	// Seed makes the experiment reproducible. Each job draws its noise from
+	// its own stream, derived from Seed and the job's position in the
+	// selection (parallel.Seed), so results do not depend on Workers.
 	Seed int64
+	// Workers bounds the goroutines flighting jobs concurrently; ≤ 0 means
+	// runtime.NumCPU, 1 the serial path. Output is identical either way.
+	Workers int
 }
 
 // DefaultConfig mirrors the paper's protocol.
@@ -101,48 +108,83 @@ func Execute(selected []*jobrepo.Record, ex *scopesim.Executor, cfg Config) (*Da
 	if cfg.Redundancy < 1 {
 		return nil, errors.New("flight: redundancy must be at least 1")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	ds := &Dataset{}
+	// Flight each job on its own seed-derived noise stream. Because the
+	// stream depends only on (cfg.Seed, job index), the outcome per job —
+	// and therefore the whole dataset after the ordered reduction below —
+	// is identical at any worker count.
+	outcomes, err := parallel.Map(context.Background(), len(selected), cfg.Workers, func(i int) (jobOutcome, error) {
+		return flightJob(selected[i], ex, rand.New(rand.NewSource(parallel.Seed(cfg.Seed, i))), cfg), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
-	for _, rec := range selected {
-		tokens := flightTokens(rec.ObservedTokens, cfg.Fractions)
-		var runs []Run
-		overused := false
-		for _, tok := range tokens {
-			run, ok := flightOnce(rec, tok, ex, rng, cfg)
-			if !ok {
-				continue
-			}
-			if run.Skyline.Peak() > tok {
-				overused = true
-			}
-			runs = append(runs, run)
-		}
-		// Filter 2: discard errant jobs that used more than allocated.
-		if overused {
+	ds := &Dataset{}
+	for _, oc := range outcomes {
+		switch oc.verdict {
+		case rejectedOveruse:
 			ds.RejectedOveruse++
-			continue
-		}
-		// Filter 1: at least two successful flights.
-		if len(runs) < 2 {
+		case rejectedIsolated:
 			ds.RejectedIsolated++
-			continue
-		}
-		sort.Slice(runs, func(i, j int) bool { return runs[i].Tokens > runs[j].Tokens })
-		// Filter 3: run time monotonically non-increasing in tokens,
-		// within tolerance: walking from most to fewest tokens, run time
-		// must not drop by more than the tolerance.
-		if !monotoneWithTolerance(runs, cfg.MonotoneTolerance) {
+		case rejectedNonMonotone:
 			ds.RejectedNonMonotone++
-			continue
+		default:
+			ds.Jobs = append(ds.Jobs, oc.flights)
+			ds.TotalRuns += len(oc.flights.Runs)
 		}
-		ds.Jobs = append(ds.Jobs, JobFlights{Record: rec, Runs: runs})
-		ds.TotalRuns += len(runs)
 	}
 	if len(ds.Jobs) == 0 {
 		return nil, errors.New("flight: every job was filtered out")
 	}
 	return ds, nil
+}
+
+// jobOutcome is one job's flighting result: either surviving flights or the
+// filter that rejected it.
+type jobOutcome struct {
+	verdict int
+	flights JobFlights
+}
+
+const (
+	survived = iota
+	rejectedIsolated
+	rejectedOveruse
+	rejectedNonMonotone
+)
+
+// flightJob runs all of one job's flights on the given rand stream and
+// applies the three §5.1 filters.
+func flightJob(rec *jobrepo.Record, ex *scopesim.Executor, rng *rand.Rand, cfg Config) jobOutcome {
+	tokens := flightTokens(rec.ObservedTokens, cfg.Fractions)
+	var runs []Run
+	overused := false
+	for _, tok := range tokens {
+		run, ok := flightOnce(rec, tok, ex, rng, cfg)
+		if !ok {
+			continue
+		}
+		if run.Skyline.Peak() > tok {
+			overused = true
+		}
+		runs = append(runs, run)
+	}
+	// Filter 2: discard errant jobs that used more than allocated.
+	if overused {
+		return jobOutcome{verdict: rejectedOveruse}
+	}
+	// Filter 1: at least two successful flights.
+	if len(runs) < 2 {
+		return jobOutcome{verdict: rejectedIsolated}
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].Tokens > runs[j].Tokens })
+	// Filter 3: run time monotonically non-increasing in tokens, within
+	// tolerance: walking from most to fewest tokens, run time must not drop
+	// by more than the tolerance.
+	if !monotoneWithTolerance(runs, cfg.MonotoneTolerance) {
+		return jobOutcome{verdict: rejectedNonMonotone}
+	}
+	return jobOutcome{verdict: survived, flights: JobFlights{Record: rec, Runs: runs}}
 }
 
 // flightOnce runs one unique flight with redundancy, returning the

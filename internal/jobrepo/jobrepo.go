@@ -9,6 +9,7 @@ package jobrepo
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -16,6 +17,7 @@ import (
 	"os"
 	"time"
 
+	"tasq/internal/parallel"
 	"tasq/internal/scopesim"
 	"tasq/internal/skyline"
 )
@@ -129,17 +131,31 @@ func (r *Repository) Query(f Filter) []*Record {
 // and stores the resulting telemetry — the transformation step of the TASQ
 // training pipeline that turns raw jobs into model-ready records.
 func (r *Repository) Ingest(jobs []*scopesim.Job, ex *scopesim.Executor) error {
-	for _, j := range jobs {
+	return r.IngestParallel(jobs, ex, 1)
+}
+
+// IngestParallel is Ingest with the executions fanned out over workers
+// goroutines (the Executor is stateless, so concurrent Run calls are safe).
+// Records are stored in job order and the result is identical to Ingest at
+// any worker count; workers ≤ 0 means runtime.NumCPU, 1 the serial path.
+func (r *Repository) IngestParallel(jobs []*scopesim.Job, ex *scopesim.Executor, workers int) error {
+	recs, err := parallel.Map(context.Background(), len(jobs), workers, func(i int) (*Record, error) {
+		j := jobs[i]
 		res, err := ex.Run(j, j.RequestedTokens)
 		if err != nil {
-			return fmt.Errorf("jobrepo: ingesting %s: %w", j.ID, err)
+			return nil, fmt.Errorf("jobrepo: ingesting %s: %w", j.ID, err)
 		}
-		rec := &Record{
+		return &Record{
 			Job:            j,
 			ObservedTokens: j.RequestedTokens,
 			RuntimeSeconds: res.RuntimeSeconds,
 			Skyline:        res.Skyline,
-		}
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
 		if err := r.Add(rec); err != nil {
 			return err
 		}

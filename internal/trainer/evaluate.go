@@ -1,6 +1,7 @@
 package trainer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -8,6 +9,7 @@ import (
 
 	"tasq/internal/flight"
 	"tasq/internal/jobrepo"
+	"tasq/internal/parallel"
 	"tasq/internal/pcc"
 	"tasq/internal/stats"
 )
@@ -45,13 +47,11 @@ func (p *Pipeline) EvaluateHistorical(test []*jobrepo.Record) ([]ModelEval, erro
 	}
 	// Proxy-truth targets for the test set (the paper treats AREPAS output
 	// as ground truth at unobserved token counts).
-	truthTargets := make([]Target, len(test))
-	for i, rec := range test {
-		t, err := BuildTarget(rec, p.Config.TargetFractions)
-		if err != nil {
-			return nil, err
-		}
-		truthTargets[i] = t
+	truthTargets, err := parallel.Map(context.Background(), len(test), p.Config.Workers, func(i int) (Target, error) {
+		return BuildTarget(test[i], p.Config.TargetFractions)
+	})
+	if err != nil {
+		return nil, err
 	}
 	truthRT := make([]float64, len(test))
 	for i, rec := range test {
@@ -102,17 +102,30 @@ func (p *Pipeline) EvaluateHistorical(test []*jobrepo.Record) ([]ModelEval, erro
 // evalXGBSS computes the SS pattern fraction and the smoothed run-time
 // prediction at the reference token count of each test job.
 func (p *Pipeline) evalXGBSS(test []*jobrepo.Record) (pattern float64, preds []float64, err error) {
+	type ssResult struct {
+		monotone bool
+		pred     float64
+	}
+	results, err := parallel.Map(context.Background(), len(test), p.Config.Workers, func(i int) (ssResult, error) {
+		grid, runtimes, err := p.PredictCurveXGBSS(test[i])
+		if err != nil {
+			return ssResult{}, err
+		}
+		return ssResult{
+			monotone: pcc.IsMonotoneNonIncreasing(runtimes, 0),
+			pred:     valueAt(grid, runtimes, test[i].ObservedTokens),
+		}, nil
+	})
+	if err != nil {
+		return 0, nil, err
+	}
 	var monotone int
 	preds = make([]float64, len(test))
-	for i, rec := range test {
-		grid, runtimes, err := p.PredictCurveXGBSS(rec)
-		if err != nil {
-			return 0, nil, err
-		}
-		if pcc.IsMonotoneNonIncreasing(runtimes, 0) {
+	for i, r := range results {
+		if r.monotone {
 			monotone++
 		}
-		preds[i] = valueAt(grid, runtimes, rec.ObservedTokens)
+		preds[i] = r.pred
 	}
 	return float64(monotone) / float64(len(test)), preds, nil
 }
@@ -121,18 +134,24 @@ func (p *Pipeline) evalXGBSS(test []*jobrepo.Record) (pattern float64, preds []f
 func (p *Pipeline) evalCurveModel(name string, test []*jobrepo.Record, truthTargets []Target,
 	truthRT []float64, predict func(*jobrepo.Record) (pcc.Curve, error)) (ModelEval, error) {
 
+	curves, err := parallel.Map(context.Background(), len(test), p.Config.Workers, func(i int) (pcc.Curve, error) {
+		curve, err := predict(test[i])
+		if err != nil {
+			return pcc.Curve{}, fmt.Errorf("trainer: %s on %s: %w", name, test[i].Job.ID, err)
+		}
+		return curve, nil
+	})
+	if err != nil {
+		return ModelEval{}, err
+	}
 	var monotone int
 	preds := make([]float64, len(test))
 	predTargets := make([]Target, len(test))
-	for i, rec := range test {
-		curve, err := predict(rec)
-		if err != nil {
-			return ModelEval{}, fmt.Errorf("trainer: %s on %s: %w", name, rec.Job.ID, err)
-		}
+	for i, curve := range curves {
 		if curve.NonIncreasing() {
 			monotone++
 		}
-		preds[i] = curve.Runtime(float64(rec.ObservedTokens))
+		preds[i] = curve.Runtime(float64(test[i].ObservedTokens))
 		predTargets[i] = Target{A: curve.A, LogB: math.Log(math.Max(curve.B, 1e-12))}
 	}
 	return ModelEval{
@@ -158,8 +177,8 @@ func (p *Pipeline) EvaluateFlighted(ds *flight.Dataset) ([]ModelEval, error) {
 		target Target
 		hasFit bool
 	}
-	entries := make([]truthEntry, 0, len(ds.Jobs))
-	for _, jf := range ds.Jobs {
+	entries, err := parallel.Map(context.Background(), len(ds.Jobs), p.Config.Workers, func(i int) (truthEntry, error) {
+		jf := ds.Jobs[i]
 		e := truthEntry{jf: jf}
 		var samples []pcc.Sample
 		for _, run := range jf.Runs {
@@ -171,7 +190,10 @@ func (p *Pipeline) EvaluateFlighted(ds *flight.Dataset) ([]ModelEval, error) {
 			e.target = Target{A: curve.A, LogB: math.Log(curve.B)}
 			e.hasFit = true
 		}
-		entries = append(entries, e)
+		return e, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	var out []ModelEval
@@ -206,14 +228,21 @@ func (p *Pipeline) EvaluateFlighted(ds *flight.Dataset) ([]ModelEval, error) {
 		if !cm.enabled {
 			continue
 		}
+		curves, err := parallel.Map(context.Background(), len(entries), p.Config.Workers, func(i int) (pcc.Curve, error) {
+			curve, err := cm.predict(entries[i].jf.Record)
+			if err != nil {
+				return pcc.Curve{}, fmt.Errorf("trainer: %s on %s: %w", cm.name, entries[i].jf.Record.Job.ID, err)
+			}
+			return curve, nil
+		})
+		if err != nil {
+			return nil, err
+		}
 		var monotone int
 		var preds, actual []float64
 		var predT, truthT []Target
-		for _, e := range entries {
-			curve, err := cm.predict(e.jf.Record)
-			if err != nil {
-				return nil, fmt.Errorf("trainer: %s on %s: %w", cm.name, e.jf.Record.Job.ID, err)
-			}
+		for i, e := range entries {
+			curve := curves[i]
 			if curve.NonIncreasing() {
 				monotone++
 			}
@@ -239,13 +268,19 @@ func (p *Pipeline) EvaluateFlighted(ds *flight.Dataset) ([]ModelEval, error) {
 }
 
 func (p *Pipeline) evalXGBSSFlighted(ds *flight.Dataset) (pattern float64, _ int, err error) {
-	var monotone int
-	for _, jf := range ds.Jobs {
-		_, runtimes, err := p.PredictCurveXGBSS(jf.Record)
+	flags, err := parallel.Map(context.Background(), len(ds.Jobs), p.Config.Workers, func(i int) (bool, error) {
+		_, runtimes, err := p.PredictCurveXGBSS(ds.Jobs[i].Record)
 		if err != nil {
-			return 0, 0, err
+			return false, err
 		}
-		if pcc.IsMonotoneNonIncreasing(runtimes, 0) {
+		return pcc.IsMonotoneNonIncreasing(runtimes, 0), nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	var monotone int
+	for _, m := range flags {
+		if m {
 			monotone++
 		}
 	}

@@ -1,0 +1,68 @@
+package trainer
+
+import (
+	"fmt"
+	"testing"
+
+	"tasq/internal/jobrepo"
+	"tasq/internal/pcc"
+)
+
+// TestNeuralCurvesMonotoneNonIncreasing is the LF1–LF3 guarantee as a
+// property test: every curve the NN and GNN emit — for any training seed,
+// any loss and any job — must be monotonically non-increasing over the
+// full token range, because signSafeParams constrains the exponent a ≤ 0
+// by construction. Workers is pinned above 1 so the parallel training and
+// evaluation paths are the ones exercised (and raced under -race).
+func TestNeuralCurvesMonotoneNonIncreasing(t *testing.T) {
+	losses := []LossKind{LF1, LF2, LF3}
+	for _, seed := range []int64{3, 11, 29} {
+		for _, loss := range losses {
+			seed, loss := seed, loss
+			t.Run(fmt.Sprintf("seed=%d/loss=%s", seed, loss), func(t *testing.T) {
+				t.Parallel()
+				train, test := dataset(t, 40, 20, seed)
+				cfg := fastConfig(seed)
+				cfg.NN.Epochs = 15
+				cfg.GNN.Epochs = 2
+				cfg.NN.Loss = loss
+				cfg.GNN.Loss = loss
+				cfg.Workers = 4
+				p, err := Train(train, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, rec := range test {
+					checkMonotoneCurve(t, ModelNN, rec, p.PredictCurveNN)
+					checkMonotoneCurve(t, ModelGNN, rec, p.PredictCurveGNN)
+				}
+			})
+		}
+	}
+}
+
+// checkMonotoneCurve asserts both the parametric guarantee (a ≤ 0) and the
+// sampled run times over the whole token range up to twice the observed
+// allocation.
+func checkMonotoneCurve(t *testing.T, model string, rec *jobrepo.Record, predict func(*jobrepo.Record) (pcc.Curve, error)) {
+	t.Helper()
+	curve, err := predict(rec)
+	if err != nil {
+		t.Fatalf("%s on %s: %v", model, rec.Job.ID, err)
+	}
+	if !curve.NonIncreasing() {
+		t.Fatalf("%s on %s: curve a=%v b=%v not non-increasing", model, rec.Job.ID, curve.A, curve.B)
+	}
+	max := 2 * rec.ObservedTokens
+	if max < 16 {
+		max = 16
+	}
+	prev := curve.Runtime(1)
+	for tok := 2; tok <= max; tok++ {
+		rt := curve.Runtime(float64(tok))
+		if rt > prev+1e-9 {
+			t.Fatalf("%s on %s: runtime rises %.6f -> %.6f at %d tokens", model, rec.Job.ID, prev, rt, tok)
+		}
+		prev = rt
+	}
+}

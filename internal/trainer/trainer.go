@@ -1,6 +1,7 @@
 package trainer
 
 import (
+	"context"
 	"errors"
 
 	"tasq/internal/arepas"
@@ -8,6 +9,7 @@ import (
 	"tasq/internal/jobrepo"
 	"tasq/internal/ml/gbt"
 	"tasq/internal/ml/linalg"
+	"tasq/internal/parallel"
 	"tasq/internal/pcc"
 	"tasq/internal/scopesim"
 )
@@ -28,6 +30,11 @@ type Config struct {
 	// SplineLambda is the smoothing parameter for XGBoost SS curves.
 	SplineLambda float64
 	Seed         int64
+	// Workers bounds the goroutines used for the AREPAS target sweep, the
+	// XGBoost augmentation fan-out and batch prediction; ≤ 0 means
+	// runtime.NumCPU, 1 the serial path. The trained pipeline is identical
+	// at any worker count.
+	Workers int
 }
 
 // DefaultConfig returns the configuration used by the experiments.
@@ -77,15 +84,15 @@ func Train(recs []*jobrepo.Record, cfg Config) (*Pipeline, error) {
 
 	p := &Pipeline{Config: cfg}
 
-	// PCC targets via AREPAS augmentation.
-	p.TrainTargets = make([]Target, len(recs))
-	for i, rec := range recs {
-		t, err := BuildTarget(rec, cfg.TargetFractions)
-		if err != nil {
-			return nil, err
-		}
-		p.TrainTargets[i] = t
+	// PCC targets via AREPAS augmentation — each record's sweep is
+	// independent, so fan out across workers.
+	targets, err := parallel.Map(context.Background(), len(recs), cfg.Workers, func(i int) (Target, error) {
+		return BuildTarget(recs[i], cfg.TargetFractions)
+	})
+	if err != nil {
+		return nil, err
 	}
+	p.TrainTargets = targets
 	p.Scaling = FitParamScaling(p.TrainTargets)
 
 	// Feature scalers fitted on training data only.
@@ -93,7 +100,7 @@ func Train(recs []*jobrepo.Record, cfg Config) (*Pipeline, error) {
 	p.OpScaler = features.FitScaler(stackOperatorRows(recs))
 
 	// XGBoost (always trained: the PCC baselines and LF3 depend on it).
-	xgb, err := trainXGB(recs, p.JobScaler, cfg.XGB)
+	xgb, err := trainXGB(recs, p.JobScaler, cfg.XGB, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -102,9 +109,11 @@ func Train(recs []*jobrepo.Record, cfg Config) (*Pipeline, error) {
 	// XGBoost predictions at the observed token counts, for LF3.
 	var xgbPreds []float64
 	if needsXGBPreds(cfg) {
-		xgbPreds = make([]float64, len(recs))
-		for i, rec := range recs {
-			xgbPreds[i] = xgb.PredictRuntime(rec.Job, rec.ObservedTokens)
+		xgbPreds, err = parallel.Map(context.Background(), len(recs), cfg.Workers, func(i int) (float64, error) {
+			return xgb.PredictRuntime(recs[i].Job, recs[i].ObservedTokens), nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 

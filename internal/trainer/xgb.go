@@ -1,6 +1,7 @@
 package trainer
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -10,6 +11,7 @@ import (
 	"tasq/internal/ml/gbt"
 	"tasq/internal/ml/linalg"
 	"tasq/internal/ml/spline"
+	"tasq/internal/parallel"
 	"tasq/internal/pcc"
 	"tasq/internal/scopesim"
 )
@@ -34,23 +36,42 @@ func xgbRow(jobFeat []float64, tokens int) []float64 {
 	return row
 }
 
-// trainXGB fits the boosted ensemble on the augmented training set.
-func trainXGB(recs []*jobrepo.Record, scaler *features.Scaler, cfg gbt.Config) (*XGBModel, error) {
-	var rows [][]float64
-	var y []float64
-	for _, rec := range recs {
+// augmented holds one record's share of the XGBoost training matrix.
+type augmented struct {
+	rows [][]float64
+	y    []float64
+}
+
+// trainXGB fits the boosted ensemble on the augmented training set. The
+// per-record AREPAS augmentation fans out over workers; concatenating the
+// per-record blocks in record order keeps the training matrix identical to
+// the serial build.
+func trainXGB(recs []*jobrepo.Record, scaler *features.Scaler, cfg gbt.Config, workers int) (*XGBModel, error) {
+	parts, err := parallel.Map(context.Background(), len(recs), workers, func(i int) (augmented, error) {
+		rec := recs[i]
 		feat := scaler.TransformRow(features.JobVector(rec.Job))
 		pts, err := arepas.AugmentForXGBoost(rec.Skyline, rec.ObservedTokens)
 		if err != nil {
-			return nil, fmt.Errorf("trainer: augmenting %s: %w", rec.Job.ID, err)
+			return augmented{}, fmt.Errorf("trainer: augmenting %s: %w", rec.Job.ID, err)
 		}
+		var a augmented
 		for _, p := range pts {
 			if p.Runtime < 1 {
 				continue
 			}
-			rows = append(rows, xgbRow(feat, p.Tokens))
-			y = append(y, float64(p.Runtime))
+			a.rows = append(a.rows, xgbRow(feat, p.Tokens))
+			a.y = append(a.y, float64(p.Runtime))
 		}
+		return a, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]float64
+	var y []float64
+	for _, a := range parts {
+		rows = append(rows, a.rows...)
+		y = append(y, a.y...)
 	}
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("trainer: no XGBoost training rows")

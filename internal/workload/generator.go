@@ -90,7 +90,12 @@ type templateStage struct {
 }
 
 // Generator produces jobs. It is not safe for concurrent use; create one
-// per goroutine (each is cheap).
+// per goroutine (each is cheap). The pipeline deliberately keeps job
+// *generation* on one goroutine — the stream is cheap and sequentially
+// seeded, so serializing it preserves the legacy byte-identical workload —
+// and instead parallelizes the expensive per-job *executions* downstream
+// (jobrepo.IngestParallel, flight.Execute), which draw nothing from this
+// rng.
 type Generator struct {
 	cfg       Config
 	rng       *rand.Rand

@@ -1,0 +1,69 @@
+#!/bin/sh
+# Runs the per-stage pipeline benchmarks (pipeline_bench_test.go) at
+# Workers=1 and Workers=NumCPU and distills the result into
+# BENCH_pipeline.json: ns/op, jobs/sec and the speedup of each stage vs the
+# serial path, plus the end-to-end SmallConfig suite speedup the acceptance
+# criterion tracks. Re-run on a target machine to refresh the checked-in
+# numbers:
+#
+#	scripts/bench.sh                  # writes BENCH_pipeline.json
+#	BENCHTIME=5x scripts/bench.sh     # more repetitions per point
+set -eu
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-3x}"
+out="${OUT:-BENCH_pipeline.json}"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "== go test -bench=BenchmarkPipeline -benchtime=$benchtime" >&2
+go test -run='^$' -bench='^BenchmarkPipeline' -benchtime="$benchtime" -count=1 . | tee "$raw" >&2
+
+goversion=$(go env GOVERSION)
+cpus=$(go run ./scripts/ncpu 2>/dev/null || getconf _NPROCESSORS_ONLN)
+
+awk -v goversion="$goversion" -v cpus="$cpus" -v benchtime="$benchtime" '
+/^BenchmarkPipeline/ {
+	split($1, parts, "/")
+	stage = substr(parts[1], 18)
+	sub(/-[0-9]+$/, "", parts[2])   # strip -GOMAXPROCS suffix if attached
+	w = substr(parts[2], 9) + 0
+	ns = ""; jobs = ""
+	for (i = 3; i < NF; i++) {
+		if ($(i+1) == "ns/op")  ns = $i
+		if ($(i+1) == "jobs/s") jobs = $i
+	}
+	if (ns == "") next
+	key = stage SUBSEP w
+	if (!(key in nsof)) {
+		order[++n] = key
+		stageof[key] = stage; wof[key] = w
+	}
+	nsof[key] = ns; jobsof[key] = jobs
+	if (w == 1) serial[stage] = ns
+	if (!(stage in maxw) || w > maxw[stage]) { maxw[stage] = w; fastest[stage] = ns }
+}
+END {
+	printf "{\n"
+	printf "  \"generated_by\": \"scripts/bench.sh\",\n"
+	printf "  \"go\": \"%s\",\n", goversion
+	printf "  \"cpus\": %d,\n", cpus
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"stages\": [\n"
+	for (i = 1; i <= n; i++) {
+		key = order[i]; stage = stageof[key]; w = wof[key]
+		printf "    {\"stage\": \"%s\", \"workers\": %d, \"ns_per_op\": %.0f", stage, w, nsof[key]
+		if (jobsof[key] != "") printf ", \"jobs_per_sec\": %.0f", jobsof[key]
+		if (stage in serial && serial[stage] > 0)
+			printf ", \"speedup_vs_workers1\": %.2f", serial[stage] / nsof[key]
+		printf "}%s\n", (i < n ? "," : "")
+	}
+	printf "  ],\n"
+	e2e = 1.0
+	if (("Suite" in serial) && ("Suite" in fastest) && fastest["Suite"] > 0)
+		e2e = serial["Suite"] / fastest["Suite"]
+	printf "  \"end_to_end_suite_speedup\": %.2f\n", e2e
+	printf "}\n"
+}' "$raw" > "$out"
+
+echo "wrote $out" >&2

@@ -20,4 +20,6 @@ echo "== go test"
 go test ./...
 echo "== go test -race (serving + registry path)"
 go test -race ./internal/serve/... ./internal/obs/... ./internal/registry/... ./cmd/tasqd/...
+echo "== go test -race (parallel offline pipeline)"
+go test -race ./internal/parallel/... ./internal/flight/... ./internal/trainer/... ./internal/experiments/...
 echo "check: ok"

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Coverage gate: runs the full test tree with a coverage profile, prints
+# the per-function summary, and fails if total statement coverage drops
+# below the checked-in baseline. Bump the baseline (downward moves need a
+# justification in the PR) whenever a change legitimately shifts it.
+#
+#	scripts/coverage.sh              # gate against the baseline
+#	MIN_COVERAGE=0 scripts/coverage.sh   # report only
+set -eu
+cd "$(dirname "$0")/.."
+
+# Pre-PR baseline was 84.8% (2026-08); the floor leaves a small margin for
+# platform-dependent branches while still catching real regressions.
+min="${MIN_COVERAGE:-84.0}"
+profile="${COVERPROFILE:-coverage.out}"
+
+go test -covermode=atomic -coverprofile="$profile" ./...
+go tool cover -func="$profile" | tail -20
+
+total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+echo "total coverage: ${total}% (floor ${min}%)"
+awk -v t="$total" -v m="$min" 'BEGIN { exit (t+0 >= m+0 ? 0 : 1) }' || {
+	echo "coverage ${total}% fell below the ${min}% floor" >&2
+	exit 1
+}

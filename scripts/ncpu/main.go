@@ -1,0 +1,15 @@
+// Command ncpu prints runtime.NumCPU() — the worker-count default the
+// pipeline's Workers knobs resolve to. scripts/bench.sh records it in
+// BENCH_pipeline.json so checked-in numbers carry the machine width they
+// were measured at (getconf can disagree with the Go runtime under cgroup
+// CPU limits).
+package main
+
+import (
+	"fmt"
+	"runtime"
+)
+
+func main() {
+	fmt.Println(runtime.NumCPU())
+}
