@@ -25,7 +25,7 @@ vet:
 # ingest/augmentation/training/experiments across a worker pool. Keep all
 # of it provably race-clean (mirrors scripts/check.sh).
 race:
-	$(GO) test -race ./internal/serve/... ./internal/obs/... ./internal/registry/... ./cmd/tasqd/...
+	$(GO) test -race ./internal/serve/... ./internal/obs/... ./internal/registry/... ./internal/model/... ./cmd/tasqd/...
 	$(GO) test -race ./internal/parallel/... ./internal/flight/... ./internal/trainer/... ./internal/experiments/...
 
 coverage:

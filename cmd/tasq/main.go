@@ -14,6 +14,7 @@
 //	tasq select   -data repo.jsonl -k 8 -sample 200 -seed 1
 //	tasq flight   -data repo.jsonl -k 8 -sample 100 -seed 1
 //	tasq score    -data repo.jsonl -model model.gob -job <id> [-threshold 0.01]
+//	              [-predictor NN] [-policy GNN,NN]
 //	tasq registry <list|show|pin|unpin|gc> -dir models/ [-version N] [-keep N]
 //
 // With -registry, train publishes the model into the versioned model
@@ -33,6 +34,7 @@ import (
 	"tasq/internal/arepas"
 	"tasq/internal/flight"
 	"tasq/internal/jobrepo"
+	"tasq/internal/model"
 	"tasq/internal/registry"
 	"tasq/internal/scopesim"
 	"tasq/internal/selection"
@@ -496,9 +498,11 @@ func cmdFlight(args []string) error {
 func cmdScore(args []string) error {
 	fs := flag.NewFlagSet("score", flag.ContinueOnError)
 	data := fs.String("data", "repo.jsonl", "repository JSONL")
-	model := fs.String("model", "model.gob", "trained model path")
+	modelPath := fs.String("model", "model.gob", "trained model path")
 	jobID := fs.String("job", "", "job ID (defaults to the first job)")
 	threshold := fs.Float64("threshold", 0.01, "optimal-allocation threshold (marginal gain per token)")
+	predictor := fs.String("predictor", "", "score with this predictor (e.g. NN, 'XGBoost PL', Jockey); empty follows the fallback policy")
+	policyFlag := fs.String("policy", "", "comma-separated predictor fallback chain (e.g. 'GNN,NN'); ignored when -predictor is set")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -506,10 +510,11 @@ func cmdScore(args []string) error {
 	if err != nil {
 		return err
 	}
-	p, err := trainer.LoadPipelineFile(*model)
+	p, err := trainer.LoadPipelineFile(*modelPath)
 	if err != nil {
 		return err
 	}
+	p.ScorePolicy = model.ParsePolicy(*policyFlag)
 	rec := repo.Get(*jobID)
 	if rec == nil {
 		if *jobID != "" {
@@ -520,7 +525,7 @@ func cmdScore(args []string) error {
 		}
 		rec = repo.All()[0]
 	}
-	curve, modelName, err := p.ScoreJob(rec.Job)
+	curve, modelName, err := p.ScoreJobModel(*predictor, rec.Job)
 	if err != nil {
 		return err
 	}

@@ -24,6 +24,8 @@ func TestCLIWorkflow(t *testing.T) {
 		{"select", "-data", repo, "-k", "4", "-sample", "20"},
 		{"flight", "-data", repo, "-k", "4", "-sample", "15"},
 		{"score", "-data", repo, "-model", model},
+		{"score", "-data", repo, "-model", model, "-predictor", "jockey"},
+		{"score", "-data", repo, "-model", model, "-policy", "XGBoost-PL,NN"},
 	}
 	for _, args := range steps {
 		if err := run(args); err != nil {
@@ -32,6 +34,13 @@ func TestCLIWorkflow(t *testing.T) {
 	}
 	if _, err := os.Stat(model); err != nil {
 		t.Fatalf("model file not written: %v", err)
+	}
+	// By-name routing fails loudly for unknown and untrained predictors.
+	if err := run([]string{"score", "-data", repo, "-model", model, "-predictor", "resnet"}); err == nil {
+		t.Fatal("unknown predictor accepted by score")
+	}
+	if err := run([]string{"score", "-data", repo, "-model", model, "-predictor", "GNN"}); err == nil {
+		t.Fatal("untrained GNN accepted by score on a -skip-gnn model")
 	}
 }
 

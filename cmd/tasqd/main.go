@@ -9,7 +9,13 @@
 //	GET  /metrics          Prometheus text-format metrics
 //	POST /v1/score         job scoring (see internal/serve for the schema)
 //	POST /v1/score/batch   concurrent batch scoring
+//	GET  /v1/models        the loaded pipeline's predictor set
 //	POST /v1/admin/reload  immediate registry sync (registry mode)
+//
+// Requests may name any listed predictor (trained models or the §6
+// baselines) in their `model` field; requests that name none follow the
+// pipeline's fallback policy, overridable with -policy (applied to every
+// hot-swapped generation in registry mode).
 //
 // In registry mode the daemon never restarts to pick up a new model: it
 // serves the pinned version (or the latest when nothing is pinned), polls
@@ -44,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	"tasq/internal/model"
 	"tasq/internal/obs"
 	"tasq/internal/registry"
 	"tasq/internal/serve"
@@ -65,7 +72,7 @@ func main() {
 
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("tasqd", flag.ContinueOnError)
-	model := fs.String("model", "model.gob", "trained model path (from 'tasq train')")
+	modelPath := fs.String("model", "model.gob", "trained model path (from 'tasq train')")
 	registryDir := fs.String("registry", "", "model registry directory; takes precedence over -model and enables hot reload")
 	poll := fs.Duration("poll", serve.DefaultPollInterval, "registry poll interval")
 	shadowSample := fs.Float64("shadow-sample", 1.0, "fraction of score requests mirrored to the shadow candidate (0 disables, 1 mirrors all)")
@@ -77,10 +84,12 @@ func run(ctx context.Context, args []string) error {
 	idleTimeout := fs.Duration("idle-timeout", 120*time.Second, "keep-alive idle connection timeout")
 	maxHeaderBytes := fs.Int("max-header-bytes", 1<<20, "request header size limit")
 	workers := fs.Int("workers", 0, "batch-scoring worker pool size (0 = NumCPU)")
+	policyFlag := fs.String("policy", "", "comma-separated predictor fallback chain for requests that name no model (e.g. 'GNN,NN'; empty = built-in NN,GNN,XGBoost-PL order)")
 	quiet := fs.Bool("quiet", false, "disable structured request logging")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	policy := model.ParsePolicy(*policyFlag)
 	opts := []serve.Option{serve.WithShadowSampleRate(*shadowSample)}
 	if !*quiet {
 		opts = append(opts, serve.WithLogger(obs.NewLogger(os.Stderr)))
@@ -104,6 +113,10 @@ func run(ctx context.Context, args []string) error {
 			return err
 		}
 		reloader := serve.NewReloader(reg, srv, *poll, log.Printf)
+		if len(policy) > 0 {
+			// Every hot-swapped generation scores with the same override.
+			reloader.OnLoad(func(p *trainer.Pipeline) { p.ScorePolicy = policy })
+		}
 		if err := reloader.Sync(); err != nil {
 			return fmt.Errorf("initial registry sync: %w", err)
 		}
@@ -128,15 +141,24 @@ func run(ctx context.Context, args []string) error {
 		}()
 		source = fmt.Sprintf("registry %s (v%d)", *registryDir, srv.ActiveVersion())
 	} else {
-		p, err := trainer.LoadPipelineFile(*model)
+		p, err := trainer.LoadPipelineFile(*modelPath)
 		if err != nil {
 			return err
+		}
+		if len(policy) > 0 {
+			// Reject typo'd chains at startup, not per request.
+			for _, name := range policy {
+				if _, err := p.Predictors().Get(name); err != nil {
+					return fmt.Errorf("-policy: %w", err)
+				}
+			}
+			p.ScorePolicy = policy
 		}
 		srv, err = serve.NewServer(p, opts...)
 		if err != nil {
 			return err
 		}
-		source = "model " + *model
+		source = "model " + *modelPath
 	}
 
 	ln, err := net.Listen("tcp", *addr)

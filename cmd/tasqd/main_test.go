@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"tasq/internal/jobrepo"
+	"tasq/internal/model"
 	"tasq/internal/registry"
 	"tasq/internal/scopesim"
 	"tasq/internal/serve"
@@ -359,5 +360,77 @@ func TestServesBatchAndMetrics(t *testing.T) {
 		}
 	case <-time.After(20 * time.Second):
 		t.Fatal("daemon did not exit after context cancel")
+	}
+}
+
+// TestPolicyFlagAndModelsEndpoint boots tasqd with a -policy override and
+// checks the whole routing surface end to end: policy-routed scores, a
+// per-request model override, the /v1/models listing, and a startup
+// rejection for a policy that names an unknown predictor.
+func TestPolicyFlagAndModelsEndpoint(t *testing.T) {
+	modelPath, job := trainModelWithJob(t)
+
+	// A policy with a typo'd predictor name must fail before listening.
+	if err := run(context.Background(), []string{
+		"-model", modelPath, "-addr", "127.0.0.1:0", "-policy", "resnet", "-quiet",
+	}); err == nil {
+		t.Fatal("bogus -policy accepted")
+	}
+
+	addrCh := make(chan net.Addr, 1)
+	testOnListen = func(a net.Addr) { addrCh <- a }
+	defer func() { testOnListen = nil }()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-model", modelPath, "-addr", "127.0.0.1:0",
+			"-policy", "XGBoost-PL,NN", "-drain", "5s", "-quiet",
+		})
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for listener")
+	}
+	client := serve.NewClient("http://" + addr.String())
+
+	// Unnamed requests follow the -policy chain, not the built-in order.
+	resp, err := client.Score(&serve.ScoreRequest{Job: job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Model != model.NameXGBPL {
+		t.Fatalf("policy-routed score served by %s, want %s", resp.Model, model.NameXGBPL)
+	}
+	// A request naming a model overrides the policy.
+	resp, err = client.Score(&serve.ScoreRequest{Job: job, Model: "jockey"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Model != model.NameJockey {
+		t.Fatalf("named score served by %s, want %s", resp.Model, model.NameJockey)
+	}
+	// The daemon lists its predictor set.
+	models, err := client.Models()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models.Models) != 7 {
+		t.Fatalf("models listing %+v, want 7 predictors", models.Models)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit")
 	}
 }

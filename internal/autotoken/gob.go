@@ -1,0 +1,64 @@
+package autotoken
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sort"
+)
+
+// The group map and its per-group parameters are unexported, so Model
+// implements gob.GobEncoder/GobDecoder over an exported wire form —
+// otherwise a persisted pipeline would silently drop every group and
+// reload AutoToken as a model that covers nothing. Groups are encoded
+// as a signature-sorted slice, not a map: pipeline persistence promises
+// byte-identical serialization for identical models, and gob's map
+// encoding follows randomized iteration order.
+
+// wireGroup is the exported gob form of one groupModel.
+type wireGroup struct {
+	Signature string
+	HasFit    bool
+	B0, B1    float64
+	MaxPeak   int
+	NSamples  int
+}
+
+// wireModel is the exported gob form of Model.
+type wireModel struct {
+	Safety float64
+	Groups []wireGroup
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *Model) GobEncode() ([]byte, error) {
+	w := wireModel{Safety: m.Safety, Groups: make([]wireGroup, 0, len(m.groups))}
+	for sig, gm := range m.groups {
+		w.Groups = append(w.Groups, wireGroup{
+			Signature: sig, HasFit: gm.hasFit, B0: gm.b0, B1: gm.b1,
+			MaxPeak: gm.maxPeak, NSamples: gm.nSamples,
+		})
+	}
+	sort.Slice(w.Groups, func(i, j int) bool { return w.Groups[i].Signature < w.Groups[j].Signature })
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *Model) GobDecode(data []byte) error {
+	var w wireModel
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	m.Safety = w.Safety
+	m.groups = make(map[string]*groupModel, len(w.Groups))
+	for _, g := range w.Groups {
+		m.groups[g.Signature] = &groupModel{
+			hasFit: g.HasFit, b0: g.B0, b1: g.B1,
+			maxPeak: g.MaxPeak, nSamples: g.NSamples,
+		}
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package autotoken
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+func TestGobRoundTrip(t *testing.T) {
+	recs := ingest(t, 300, 7)
+	m, err := Train(recs, Config{Safety: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+
+	if back.Safety != m.Safety {
+		t.Fatalf("safety %v, want %v", back.Safety, m.Safety)
+	}
+	if back.Groups() != m.Groups() {
+		t.Fatalf("groups %d, want %d", back.Groups(), m.Groups())
+	}
+	// Every prediction must survive the round trip exactly, including
+	// regression coefficients and the historical-max fallback.
+	for _, rec := range recs {
+		want, okWant := m.PredictPeak(rec.Job)
+		got, okGot := back.PredictPeak(rec.Job)
+		if okWant != okGot || want != got {
+			t.Fatalf("job %s: prediction %d/%v, want %d/%v", rec.Job.ID, got, okGot, want, okWant)
+		}
+	}
+}

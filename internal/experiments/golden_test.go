@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden report fixtures")
+
+// TestReportGolden pins the full experiment report (minus Table 7's
+// wall-clock timings) at a fixed seed against a checked-in fixture. The
+// fixture was generated before the predictor-abstraction refactor, so a
+// pass here proves the refactor moved plumbing, not numbers: Tables 3–8,
+// every figure and every ablation render byte-identically.
+//
+// Regenerate (only when an intentional modelling change lands) with:
+//
+//	go test ./internal/experiments -run TestReportGolden -update
+func TestReportGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite build is slow")
+	}
+	s, err := NewSuite(determinismConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := renderWithoutTable7(RunAll(s))
+
+	golden := filepath.Join("testdata", "report_seed21.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(report), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(report))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if report != string(want) {
+		t.Fatalf("report diverged from golden fixture:\n--- got (around first diff) ---\n%s\n--- want (around first diff) ---\n%s",
+			firstDiff(report, string(want)), firstDiff(string(want), report))
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"tasq/internal/ml/gnn"
 	"tasq/internal/ml/linalg"
 	"tasq/internal/ml/nn"
+	"tasq/internal/model"
 	"tasq/internal/trainer"
 )
 
@@ -273,11 +274,13 @@ func Table8(s *Suite) (*Table8Result, error) {
 		return nil, err
 	}
 	trainer.SortEvals(rows)
-	predict := s.Pipeline.PredictCurveGNN
-	if s.Pipeline.GNN == nil {
-		predict = s.Pipeline.PredictCurveNN
+	// The §5.4 savings analysis prefers the GNN curve, falling back to
+	// the NN — expressed as a policy over the predictor registry.
+	pr, err := model.Policy{model.NameGNN, model.NameNN}.Select(s.Pipeline.Predictors())
+	if err != nil {
+		return nil, err
 	}
-	savings, err := trainer.EvaluateWorkloadSavings(s.Flights, predict)
+	savings, err := trainer.EvaluateWorkloadSavings(s.Flights, trainer.RecordPredictor(pr))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,68 @@
+package model
+
+import (
+	"tasq/internal/pcc"
+	"tasq/internal/scopesim"
+)
+
+// Func adapts plain prediction functions into a Predictor. The trainer
+// uses it to expose its fitted models without this package importing the
+// trainer (which imports this package).
+type Func struct {
+	name string
+	meta func() Meta
+	fn   func(*scopesim.Job) (pcc.Curve, error)
+	at   func(*scopesim.Job, int) (pcc.Curve, error)
+}
+
+// New wraps a reference-free prediction function (the NN/GNN style:
+// curve parameters straight from compile-time features). meta is called
+// on every Meta() so training state is always read live.
+func New(name string, meta func() Meta, fn func(*scopesim.Job) (pcc.Curve, error)) *Func {
+	return &Func{name: name, meta: meta, fn: fn}
+}
+
+// NewAnchored wraps a prediction function that constructs its curve
+// around a reference allocation (the XGBoost/simulator style).
+// PredictCurve anchors at the job's requested tokens, floored at 1 —
+// the scoring-path default; callers with an observed allocation use
+// CurveAt instead.
+func NewAnchored(name string, meta func() Meta, at func(*scopesim.Job, int) (pcc.Curve, error)) *Func {
+	return &Func{
+		name: name,
+		meta: meta,
+		fn: func(job *scopesim.Job) (pcc.Curve, error) {
+			ref := job.RequestedTokens
+			if ref < 1 {
+				ref = 1
+			}
+			return at(job, ref)
+		},
+		at: at,
+	}
+}
+
+// FixedMeta returns a meta callback for predictors whose provenance
+// never changes (the simulator baselines).
+func FixedMeta(m Meta) func() Meta {
+	return func() Meta { return m }
+}
+
+// Name implements Predictor.
+func (f *Func) Name() string { return f.name }
+
+// Meta implements Predictor.
+func (f *Func) Meta() Meta { return f.meta() }
+
+// PredictCurve implements Predictor.
+func (f *Func) PredictCurve(job *scopesim.Job) (pcc.Curve, error) { return f.fn(job) }
+
+// PredictCurveAt implements RefPredictor. Reference-free predictors
+// ignore the anchor and return their plain prediction, which keeps
+// CurveAt uniform across both styles.
+func (f *Func) PredictCurveAt(job *scopesim.Job, reference int) (pcc.Curve, error) {
+	if f.at == nil {
+		return f.fn(job)
+	}
+	return f.at(job, reference)
+}

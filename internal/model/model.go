@@ -1,0 +1,150 @@
+// Package model defines the predictor seam of the scoring path (Figure 4):
+// one Predictor interface that every PCC source — the trained TASQ models
+// (XGBoost SS/PL, NN, GNN) and the §6 prior-art baselines (AutoToken,
+// Jockey, Amdahl) — plugs into, a Mux that registers predictors by name,
+// and a Policy expressing an ordered fallback chain.
+//
+// The package sits below the trainer: it depends only on the job
+// description, the PCC math and the baseline simulators, so the trainer,
+// server, registry and experiment layers can all consume Predictor values
+// without import cycles. The trainer adapts its fitted models through the
+// Func/anchored constructors; the baselines are implemented here directly.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"tasq/internal/pcc"
+	"tasq/internal/scopesim"
+)
+
+// Canonical predictor names. The four trained models keep the paper's
+// table spelling (Tables 4–6); the baselines use the names of §6.
+const (
+	NameXGBSS     = "XGBoost SS"
+	NameXGBPL     = "XGBoost PL"
+	NameNN        = "NN"
+	NameGNN       = "GNN"
+	NameAutoToken = "AutoToken"
+	NameJockey    = "Jockey"
+	NameAmdahl    = "Amdahl"
+)
+
+// Sentinel errors of the routing contract. Servers map these to HTTP
+// statuses: an unknown name is the caller's mistake (400), a known but
+// untrained or non-applicable predictor is a state conflict (409).
+var (
+	// ErrUnknownModel marks a name no predictor is registered under.
+	ErrUnknownModel = errors.New("model: unknown model")
+	// ErrUntrained marks a registered predictor whose underlying model
+	// has not been trained (e.g. the GNN under SkipGNN, or AutoToken
+	// before any recurring jobs were ingested).
+	ErrUntrained = errors.New("model: predictor not trained")
+	// ErrUncovered marks a job outside a predictor's coverage — the
+	// AutoToken coverage gap of §6.2 (ad-hoc or unseen signatures).
+	ErrUncovered = errors.New("model: job not covered by predictor")
+)
+
+// Kind classifies where a predictor's knowledge comes from.
+type Kind string
+
+const (
+	// KindTrained marks models fitted on the historical training set;
+	// only these enter the Tables 4–6/8 evaluation.
+	KindTrained Kind = "trained"
+	// KindBaseline marks the §6 prior-art predictors served for
+	// comparison but excluded from the paper-table evaluation.
+	KindBaseline Kind = "baseline"
+)
+
+// Meta describes a predictor's training provenance.
+type Meta struct {
+	// Kind separates fitted models from prior-art baselines.
+	Kind Kind
+	// Trained reports whether the predictor can answer right now. It is
+	// evaluated live: a pipeline loaded with SkipGNN reports the GNN
+	// predictor as registered but untrained.
+	Trained bool
+	// Tabulated marks predictors whose native output is a smoothed grid
+	// rather than a parametric curve (XGBoost SS). Their PredictCurve
+	// fits a power law to the grid; evaluation keeps using the native
+	// tabulated form.
+	Tabulated bool
+	// Provenance is a one-line human summary of what the predictor was
+	// fitted on or simulates.
+	Provenance string
+}
+
+// Predictor maps compile-time job information to a performance
+// characteristic curve. Implementations must be safe for concurrent use:
+// the serving path scores through a shared Predictor set.
+type Predictor interface {
+	// Name returns the canonical registration name.
+	Name() string
+	// PredictCurve returns the PCC for the job. Anchored predictors use
+	// the job's requested tokens (floored at 1) as the reference — the
+	// scoring-path semantics of Figure 4.
+	PredictCurve(job *scopesim.Job) (pcc.Curve, error)
+	// Meta describes the predictor's provenance and live training state.
+	Meta() Meta
+}
+
+// RefPredictor is implemented by predictors whose curve is constructed
+// around a reference allocation (the XGBoost ±40% region, the simulator
+// grids). Evaluation paths anchor at each record's observed tokens;
+// plain predictors (NN, GNN) ignore the reference.
+type RefPredictor interface {
+	Predictor
+	PredictCurveAt(job *scopesim.Job, reference int) (pcc.Curve, error)
+}
+
+// CurveAt predicts the job's PCC anchored at reference when the
+// predictor supports anchoring, falling back to PredictCurve otherwise.
+func CurveAt(p Predictor, job *scopesim.Job, reference int) (pcc.Curve, error) {
+	if rp, ok := p.(RefPredictor); ok {
+		return rp.PredictCurveAt(job, reference)
+	}
+	return p.PredictCurve(job)
+}
+
+// CurveRegion returns the paper's ±40%-of-reference token grid on which
+// XGBoost curves are constructed, the Pattern metric is judged and the
+// simulator baselines are fitted.
+func CurveRegion(reference int) []int {
+	var out []int
+	seen := map[int]bool{}
+	for f := 0.6; f <= 1.401; f += 0.1 {
+		tok := int(math.Round(f * float64(reference)))
+		if tok < 1 {
+			tok = 1
+		}
+		if !seen[tok] {
+			seen[tok] = true
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+// normalize canonicalizes a model name for lookup: case-insensitive,
+// ignoring spaces, dashes and underscores, so "xgboost-pl", "XGBoost PL"
+// and "xgboost_pl" all resolve to the same predictor.
+func normalize(name string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(name) {
+		switch r {
+		case ' ', '-', '_':
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// unknownErr builds the ErrUnknownModel error with the known names.
+func unknownErr(name string, known []string) error {
+	return fmt.Errorf("%w %q (known: %s)", ErrUnknownModel, name, strings.Join(known, ", "))
+}

@@ -12,7 +12,8 @@ import (
 const PipelineFormat = "tasq-pipeline/v1"
 
 // PublishPipeline serializes a trained pipeline and publishes it as a new
-// version. The manifest's Format is forced to PipelineFormat; Train,
+// version. The manifest's Format is forced to PipelineFormat and its
+// Predictors filled from the pipeline's trained predictor set; Train,
 // EvalMetrics and Notes pass through from m.
 func (r *Registry) PublishPipeline(p *trainer.Pipeline, m Manifest) (int, error) {
 	var buf bytes.Buffer
@@ -20,6 +21,7 @@ func (r *Registry) PublishPipeline(p *trainer.Pipeline, m Manifest) (int, error)
 		return 0, err
 	}
 	m.Format = PipelineFormat
+	m.Predictors = p.TrainedPredictors()
 	return r.Publish(buf.Bytes(), m)
 }
 

@@ -56,6 +56,18 @@ func TestPublishPipelineRoundTrip(t *testing.T) {
 	if m.EvalMetrics["runtime_median_ae"] != 0.12 {
 		t.Fatalf("eval metrics %+v", m.EvalMetrics)
 	}
+	// The manifest records the publishable predictor set — the SkipNN +
+	// SkipGNN pipeline still serves both XGBoost variants and the
+	// baselines.
+	want := p.TrainedPredictors()
+	if len(m.Predictors) == 0 || len(m.Predictors) != len(want) {
+		t.Fatalf("manifest predictors %v, want %v", m.Predictors, want)
+	}
+	for i := range want {
+		if m.Predictors[i] != want[i] {
+			t.Fatalf("manifest predictors %v, want %v", m.Predictors, want)
+		}
+	}
 	// The loaded pipeline scores identically to the original.
 	g := workload.New(workload.TestConfig(43))
 	job := g.Job()

@@ -83,6 +83,11 @@ type Manifest struct {
 	// Format names the payload framing (currently "tasq-pipeline/v1").
 	Format string       `json:"format"`
 	Train  TrainSummary `json:"train,omitempty"`
+	// Predictors lists the predictor set the published pipeline can
+	// serve by name (trained models and baselines), in registration
+	// order — what GET /v1/models will report once this version is
+	// loaded.
+	Predictors []string `json:"predictors,omitempty"`
 	// EvalMetrics carries held-out evaluation numbers, e.g.
 	// "runtime_median_ae" — the paper's Tables 4–6 error — so promotion
 	// can be judged from the manifest.

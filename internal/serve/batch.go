@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"net/http"
 	"sync"
 )
@@ -14,8 +15,9 @@ type BatchScoreRequest struct {
 
 // BatchItemResult is the outcome for one batch item. Exactly one of
 // Response and Error is set; Status carries the HTTP-equivalent code for
-// the item (200, 400 or 500) so clients can apply the same error contract
-// as the single-score endpoint.
+// the item (200, 400, 409 or 500) so clients can apply the same error
+// contract as the single-score endpoint. Items route independently: each
+// may name its own model.
 type BatchItemResult struct {
 	Index    int            `json:"index"`
 	Status   int            `json:"status"`
@@ -105,8 +107,14 @@ func (s *Server) scoreBatch(req *BatchScoreRequest) *BatchScoreResponse {
 // carries per-item results; an item-level failure is reported in its
 // BatchItemResult, not as a Go error.
 func (c *Client) ScoreBatch(req *BatchScoreRequest) (*BatchScoreResponse, error) {
+	return c.ScoreBatchCtx(context.Background(), req)
+}
+
+// ScoreBatchCtx is ScoreBatch honoring the caller's deadline and
+// cancellation.
+func (c *Client) ScoreBatchCtx(ctx context.Context, req *BatchScoreRequest) (*BatchScoreResponse, error) {
 	var out BatchScoreResponse
-	if err := c.postJSON("/v1/score/batch", req, &out); err != nil {
+	if err := c.postJSON(ctx, "/v1/score/batch", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

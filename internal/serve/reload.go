@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"tasq/internal/registry"
+	"tasq/internal/trainer"
 )
 
 // Reloader keeps a Server in sync with a model registry: the active model
@@ -22,6 +23,7 @@ type Reloader struct {
 	srv      *Server
 	interval time.Duration
 	logf     func(format string, args ...any)
+	onLoad   func(*trainer.Pipeline)
 	mu       sync.Mutex
 }
 
@@ -41,6 +43,16 @@ func NewReloader(reg *registry.Registry, srv *Server, interval time.Duration, lo
 	r := &Reloader{reg: reg, srv: srv, interval: interval, logf: logf}
 	srv.setReloadFunc(r.Sync)
 	return r
+}
+
+// OnLoad registers a hook applied to every pipeline the reloader loads —
+// active and shadow — before it is installed; the daemon uses it to apply
+// the -policy override to each hot-swapped generation. Call before the
+// first Sync.
+func (r *Reloader) OnLoad(fn func(*trainer.Pipeline)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onLoad = fn
 }
 
 // Sync performs one reconciliation pass. It is safe to call concurrently
@@ -77,6 +89,9 @@ func (r *Reloader) Sync() error {
 		if err != nil {
 			return fmt.Errorf("serve: loading active v%d: %w", activeTarget, err)
 		}
+		if r.onLoad != nil {
+			r.onLoad(p)
+		}
 		if err := r.srv.SetActive(p, activeTarget); err != nil {
 			return err
 		}
@@ -91,6 +106,9 @@ func (r *Reloader) Sync() error {
 		p, _, err := r.reg.GetPipeline(shadowTarget)
 		if err != nil {
 			return fmt.Errorf("serve: loading shadow v%d: %w", shadowTarget, err)
+		}
+		if r.onLoad != nil {
+			r.onLoad(p)
 		}
 		if err := r.srv.SetShadow(p, shadowTarget); err != nil {
 			return err
@@ -149,8 +167,13 @@ func (s *Server) handleAdminReload(w http.ResponseWriter, r *http.Request) {
 // Reload asks the service to sync against its model registry now and
 // returns the resulting generations.
 func (c *Client) Reload() (*ReloadResponse, error) {
+	return c.ReloadCtx(context.Background())
+}
+
+// ReloadCtx is Reload honoring the caller's deadline and cancellation.
+func (c *Client) ReloadCtx(ctx context.Context) (*ReloadResponse, error) {
 	var out ReloadResponse
-	if err := c.postJSON("/v1/admin/reload", struct{}{}, &out); err != nil {
+	if err := c.postJSON(ctx, "/v1/admin/reload", struct{}{}, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

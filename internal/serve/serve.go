@@ -11,10 +11,19 @@
 // (`/readyz`) probes, structured request logging with request IDs, and a
 // strict error contract — invalid requests yield HTTP 400, internal
 // pipeline failures HTTP 500.
+//
+// Scoring is model-addressable: a request may name any registered
+// predictor (trained models or the §6 baselines) via the optional `model`
+// field, batch items route independently, and `GET /v1/models` lists what
+// the loaded pipeline can serve. Naming an unknown model is a client
+// error (400); naming a known predictor the loaded pipeline never trained
+// is a conflict (409) — retrying the same request against a generation
+// that trained it would succeed.
 package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -25,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tasq/internal/model"
 	"tasq/internal/obs"
 	"tasq/internal/pcc"
 	"tasq/internal/scopesim"
@@ -48,6 +58,11 @@ type ScoreRequest struct {
 	// MaxTokens caps the optimal-token search (default: requested
 	// tokens). Negative values are rejected.
 	MaxTokens int `json:"max_tokens,omitempty"`
+	// Model names the predictor to score with (case/spacing-insensitive,
+	// e.g. "NN", "xgboost-pl", "Jockey"). Empty follows the server's
+	// fallback policy. Unknown names are rejected with 400; known but
+	// untrained predictors with 409.
+	Model string `json:"model,omitempty"`
 }
 
 // CurveJSON is the serialized PCC.
@@ -79,6 +94,31 @@ type scorer interface {
 	ScoreJob(job *scopesim.Job) (pcc.Curve, string, error)
 }
 
+// modelRouter is the optional scorer upgrade for by-name routing;
+// trainer.Pipeline implements it. Scorers without it still serve
+// policy-routed requests but reject requests that name a model.
+type modelRouter interface {
+	ScoreJobModel(name string, job *scopesim.Job) (pcc.Curve, string, error)
+}
+
+// modelLister is the optional scorer upgrade behind GET /v1/models.
+type modelLister interface {
+	ModelInfos() []model.Info
+}
+
+// scoreVia dispatches one request to the scorer, by name when the request
+// asks for a specific model.
+func scoreVia(sc scorer, req *ScoreRequest) (pcc.Curve, string, error) {
+	if req.Model == "" {
+		return sc.ScoreJob(req.Job)
+	}
+	mr, ok := sc.(modelRouter)
+	if !ok {
+		return pcc.Curve{}, "", reqErrf("serve: loaded model cannot route by model name (%q requested)", req.Model)
+	}
+	return mr.ScoreJobModel(req.Model, req.Job)
+}
+
 // requestError marks a client-side validation failure. Handlers map it to
 // HTTP 400; every other scoring error is an internal failure and maps to
 // HTTP 500.
@@ -97,11 +137,20 @@ func reqErrf(format string, args ...any) error {
 // balancers retry elsewhere instead of counting a client error.
 var errNoModel = errors.New("serve: no model loaded")
 
-// httpStatus maps a scoring error onto the 400/503/500 contract.
+// httpStatus maps a scoring error onto the 400/409/503/500 contract.
+// Unknown model names are client errors; known-but-untrained (or
+// not-covering-this-job) predictors are conflicts with the loaded model
+// generation, retryable against a generation that trained them.
 func httpStatus(err error) int {
 	var re *requestError
 	if errors.As(err, &re) {
 		return http.StatusBadRequest
+	}
+	if errors.Is(err, model.ErrUnknownModel) {
+		return http.StatusBadRequest
+	}
+	if errors.Is(err, model.ErrUntrained) || errors.Is(err, model.ErrUncovered) {
+		return http.StatusConflict
 	}
 	if errors.Is(err, errNoModel) {
 		return http.StatusServiceUnavailable
@@ -265,6 +314,7 @@ func newServer(p scorer, opts ...Option) (*Server, error) {
 	s.scoreOK = s.reg.Counter("tasq_score_jobs_total", "outcome", "ok")
 	s.scoreRejected = s.reg.Counter("tasq_score_jobs_total", "outcome", "rejected")
 	s.scoreFailed = s.reg.Counter("tasq_score_jobs_total", "outcome", "failed")
+	s.reg.SetHelp("tasq_score_total", "Successful scores by the predictor that served them.")
 	s.reg.SetHelp("tasq_model_version", "Registry version of the loaded model by role (active, shadow); 0 = none/unversioned.")
 	s.activeVersion = s.reg.Gauge("tasq_model_version", "role", "active")
 	s.shadowVersion = s.reg.Gauge("tasq_model_version", "role", "shadow")
@@ -277,6 +327,7 @@ func newServer(p scorer, opts ...Option) (*Server, error) {
 	s.route("/readyz", http.HandlerFunc(s.handleReady))
 	s.route("/v1/score", http.HandlerFunc(s.handleScore))
 	s.route("/v1/score/batch", http.HandlerFunc(s.handleScoreBatch))
+	s.route("/v1/models", http.HandlerFunc(s.handleModels))
 	s.route("/v1/admin/reload", http.HandlerFunc(s.handleAdminReload))
 	s.mux.Handle("/metrics", s.reg.Handler())
 	return s, nil
@@ -426,6 +477,35 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// ModelsResponse lists the predictors the loaded pipeline can serve.
+type ModelsResponse struct {
+	// ModelVersion is the registry version of the loaded pipeline (0 =
+	// unversioned).
+	ModelVersion int          `json:"model_version,omitempty"`
+	Models       []model.Info `json:"models"`
+}
+
+// handleModels reports the loaded pipeline's predictor set: every
+// registered name, its kind (trained model vs prior-art baseline), and
+// whether this generation actually trained it — the names a ScoreRequest
+// may put in its `model` field.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	active := s.active.Load()
+	if active == nil {
+		http.Error(w, errNoModel.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	resp := ModelsResponse{ModelVersion: active.version, Models: []model.Info{}}
+	if ml, ok := active.scorer.(modelLister); ok {
+		resp.Models = ml.ModelInfos()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // score runs one request through validation and the pipeline. All
 // validation failures come back as *requestError (HTTP 400); anything the
 // pipeline itself gets wrong is internal (HTTP 500).
@@ -458,14 +538,21 @@ func (s *Server) score(req *ScoreRequest) (*ScoreResponse, error) {
 		s.scoreFailed.Inc()
 		return nil, errNoModel
 	}
-	curve, model, err := active.scorer.ScoreJob(req.Job)
+	curve, served, err := scoreVia(active.scorer, req)
 	if err != nil {
-		s.scoreFailed.Inc()
-		return nil, fmt.Errorf("serve: scoring: %w", err)
+		err = fmt.Errorf("serve: scoring: %w", err)
+		// Routing failures (unknown name, untrained predictor) are the
+		// caller's to fix, not a pipeline malfunction.
+		if code := httpStatus(err); code == http.StatusBadRequest || code == http.StatusConflict {
+			s.scoreRejected.Inc()
+		} else {
+			s.scoreFailed.Inc()
+		}
+		return nil, err
 	}
 	if !curve.Valid() {
 		s.scoreFailed.Inc()
-		return nil, fmt.Errorf("serve: scoring: model %s produced invalid curve %v", model, curve)
+		return nil, fmt.Errorf("serve: scoring: model %s produced invalid curve %v", served, curve)
 	}
 	threshold := req.Threshold
 	if threshold == 0 {
@@ -479,7 +566,7 @@ func (s *Server) score(req *ScoreRequest) (*ScoreResponse, error) {
 		maxTokens = 1
 	}
 	resp := &ScoreResponse{
-		Model:         model,
+		Model:         served,
 		ModelVersion:  active.version,
 		Curve:         CurveJSON{A: curve.A, B: curve.B},
 		OptimalTokens: curve.OptimalTokens(1, maxTokens, threshold),
@@ -495,6 +582,7 @@ func (s *Server) score(req *ScoreRequest) (*ScoreResponse, error) {
 		})
 	}
 	s.scoreOK.Inc()
+	s.reg.Counter("tasq_score_total", "model", served).Inc()
 	s.shadowScore(req, curve, resp.OptimalTokens, maxTokens, threshold)
 	return resp, nil
 }
@@ -513,7 +601,10 @@ func (s *Server) shadowScore(req *ScoreRequest, activeCurve pcc.Curve, activeOpt
 		return
 	}
 	sh.scores.Inc()
-	curve, _, err := sh.scorer.ScoreJob(req.Job)
+	// Route exactly as the active model did — a requested model name
+	// applies to both generations, so the divergence series compares
+	// like with like.
+	curve, _, err := scoreVia(sh.scorer, req)
 	if err != nil || !curve.Valid() {
 		sh.failures.Inc()
 		return
@@ -564,69 +655,46 @@ func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: baseURL, HTTP: &http.Client{Timeout: 30 * time.Second}}
 }
 
-// Health checks the service liveness endpoint.
-func (c *Client) Health() error {
-	resp, err := c.httpClient().Get(c.BaseURL + "/healthz")
+// do issues one request with the caller's context, returning the bounded
+// body and converting non-200 statuses into *StatusError. Every Client
+// method — context-aware or not — funnels through here.
+func (c *Client) do(ctx context.Context, method, path string, payload []byte) ([]byte, error) {
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("serve: health status %d", resp.StatusCode)
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
 	}
-	return nil
-}
-
-// Ready checks the service readiness endpoint; a draining or overloaded
-// service returns an error carrying the status code.
-func (c *Client) Ready() error {
-	resp, err := c.httpClient().Get(c.BaseURL + "/readyz")
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
-		return &StatusError{Code: resp.StatusCode, Message: string(bytes.TrimSpace(body))}
-	}
-	return nil
-}
-
-// Metrics fetches the Prometheus text exposition of the service.
-func (c *Client) Metrics() (string, error) {
-	resp, err := c.httpClient().Get(c.BaseURL + "/metrics")
-	if err != nil {
-		return "", err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return "", &StatusError{Code: resp.StatusCode, Message: string(bytes.TrimSpace(body))}
+		return nil, &StatusError{Code: resp.StatusCode, Message: string(bytes.TrimSpace(body))}
 	}
-	return string(body), nil
+	return body, nil
 }
 
 // postJSON marshals req, posts it to path and decodes the response into
-// out, converting non-200 statuses into *StatusError.
-func (c *Client) postJSON(path string, req, out any) error {
+// out.
+func (c *Client) postJSON(ctx context.Context, path string, req, out any) error {
 	payload, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
-	resp, err := c.httpClient().Post(c.BaseURL+path, "application/json", bytes.NewReader(payload))
+	body, err := c.do(ctx, http.MethodPost, path, payload)
 	if err != nil {
 		return err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return &StatusError{Code: resp.StatusCode, Message: string(bytes.TrimSpace(body))}
 	}
 	if err := json.Unmarshal(body, out); err != nil {
 		return fmt.Errorf("serve: decoding response: %w", err)
@@ -634,11 +702,71 @@ func (c *Client) postJSON(path string, req, out any) error {
 	return nil
 }
 
+// Health checks the service liveness endpoint.
+func (c *Client) Health() error { return c.HealthCtx(context.Background()) }
+
+// HealthCtx is Health honoring the caller's deadline and cancellation.
+func (c *Client) HealthCtx(ctx context.Context) error {
+	if _, err := c.do(ctx, http.MethodGet, "/healthz", nil); err != nil {
+		var se *StatusError
+		if errors.As(err, &se) {
+			return fmt.Errorf("serve: health status %d", se.Code)
+		}
+		return err
+	}
+	return nil
+}
+
+// Ready checks the service readiness endpoint; a draining or overloaded
+// service returns a *StatusError carrying the status code.
+func (c *Client) Ready() error { return c.ReadyCtx(context.Background()) }
+
+// ReadyCtx is Ready honoring the caller's deadline and cancellation.
+func (c *Client) ReadyCtx(ctx context.Context) error {
+	_, err := c.do(ctx, http.MethodGet, "/readyz", nil)
+	return err
+}
+
+// Metrics fetches the Prometheus text exposition of the service.
+func (c *Client) Metrics() (string, error) { return c.MetricsCtx(context.Background()) }
+
+// MetricsCtx is Metrics honoring the caller's deadline and cancellation.
+func (c *Client) MetricsCtx(ctx context.Context) (string, error) {
+	body, err := c.do(ctx, http.MethodGet, "/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	return string(body), nil
+}
+
 // Score submits a job for PCC prediction.
 func (c *Client) Score(req *ScoreRequest) (*ScoreResponse, error) {
+	return c.ScoreCtx(context.Background(), req)
+}
+
+// ScoreCtx is Score honoring the caller's deadline and cancellation.
+func (c *Client) ScoreCtx(ctx context.Context, req *ScoreRequest) (*ScoreResponse, error) {
 	var out ScoreResponse
-	if err := c.postJSON("/v1/score", req, &out); err != nil {
+	if err := c.postJSON(ctx, "/v1/score", req, &out); err != nil {
 		return nil, err
+	}
+	return &out, nil
+}
+
+// Models lists the predictors the service can score with.
+func (c *Client) Models() (*ModelsResponse, error) {
+	return c.ModelsCtx(context.Background())
+}
+
+// ModelsCtx is Models honoring the caller's deadline and cancellation.
+func (c *Client) ModelsCtx(ctx context.Context) (*ModelsResponse, error) {
+	body, err := c.do(ctx, http.MethodGet, "/v1/models", nil)
+	if err != nil {
+		return nil, err
+	}
+	var out ModelsResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, fmt.Errorf("serve: decoding response: %w", err)
 	}
 	return &out, nil
 }

@@ -9,17 +9,20 @@ import (
 
 	"tasq/internal/flight"
 	"tasq/internal/jobrepo"
+	"tasq/internal/model"
 	"tasq/internal/parallel"
 	"tasq/internal/pcc"
 	"tasq/internal/stats"
 )
 
 // Model names used in evaluation reports, matching the paper's tables.
+// They alias the canonical names of the model package's predictor
+// registry, so report rows and /v1/score routing agree on spelling.
 const (
-	ModelXGBSS = "XGBoost SS"
-	ModelXGBPL = "XGBoost PL"
-	ModelNN    = "NN"
-	ModelGNN   = "GNN"
+	ModelXGBSS = model.NameXGBSS
+	ModelXGBPL = model.NameXGBPL
+	ModelNN    = model.NameNN
+	ModelGNN   = model.NameGNN
 )
 
 // ModelEval is one row of Tables 4–6 / Table 8.
@@ -72,25 +75,11 @@ func (p *Pipeline) EvaluateHistorical(test []*jobrepo.Record) ([]ModelEval, erro
 		RuntimeMedianAE: stats.MedianAPE(ssPreds, truthRT),
 	})
 
-	// XGBoost PL.
-	plEval, err := p.evalCurveModel(ModelXGBPL, test, truthTargets, truthRT, func(rec *jobrepo.Record) (pcc.Curve, error) {
-		return p.PredictCurveXGBPL(rec)
-	})
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, plEval)
-
-	// NN and GNN.
-	if p.NN != nil {
-		e, err := p.evalCurveModel(ModelNN, test, truthTargets, truthRT, p.PredictCurveNN)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, e)
-	}
-	if p.GNN != nil {
-		e, err := p.evalCurveModel(ModelGNN, test, truthTargets, truthRT, p.PredictCurveGNN)
+	// Parametric curve models in table order (XGBoost PL, NN, GNN):
+	// every trained, non-tabulated predictor of the registry, anchored
+	// at each record's observed token count.
+	for _, pr := range p.curvePredictors() {
+		e, err := p.evalCurveModel(pr.Name(), test, truthTargets, truthRT, RecordPredictor(pr))
 		if err != nil {
 			return nil, err
 		}
@@ -107,7 +96,7 @@ func (p *Pipeline) evalXGBSS(test []*jobrepo.Record) (pattern float64, preds []f
 		pred     float64
 	}
 	results, err := parallel.Map(context.Background(), len(test), p.Config.Workers, func(i int) (ssResult, error) {
-		grid, runtimes, err := p.PredictCurveXGBSS(test[i])
+		grid, runtimes, err := p.XGB.PredictCurveSS(test[i].Job, test[i].ObservedTokens, p.Config.SplineLambda)
 		if err != nil {
 			return ssResult{}, err
 		}
@@ -215,23 +204,12 @@ func (p *Pipeline) EvaluateFlighted(ds *flight.Dataset) ([]ModelEval, error) {
 		RuntimeMedianAE: stats.MedianAPE(ssPreds, truths),
 	})
 
-	curveModels := []struct {
-		name    string
-		predict func(*jobrepo.Record) (pcc.Curve, error)
-		enabled bool
-	}{
-		{ModelXGBPL, p.PredictCurveXGBPL, true},
-		{ModelNN, p.PredictCurveNN, p.NN != nil},
-		{ModelGNN, p.PredictCurveGNN, p.GNN != nil},
-	}
-	for _, cm := range curveModels {
-		if !cm.enabled {
-			continue
-		}
+	for _, pr := range p.curvePredictors() {
+		name, predict := pr.Name(), RecordPredictor(pr)
 		curves, err := parallel.Map(context.Background(), len(entries), p.Config.Workers, func(i int) (pcc.Curve, error) {
-			curve, err := cm.predict(entries[i].jf.Record)
+			curve, err := predict(entries[i].jf.Record)
 			if err != nil {
-				return pcc.Curve{}, fmt.Errorf("trainer: %s on %s: %w", cm.name, entries[i].jf.Record.Job.ID, err)
+				return pcc.Curve{}, fmt.Errorf("trainer: %s on %s: %w", name, entries[i].jf.Record.Job.ID, err)
 			}
 			return curve, nil
 		})
@@ -258,7 +236,7 @@ func (p *Pipeline) EvaluateFlighted(ds *flight.Dataset) ([]ModelEval, error) {
 			}
 		}
 		out = append(out, ModelEval{
-			Model:           cm.name,
+			Model:           name,
 			Pattern:         float64(monotone) / float64(len(entries)),
 			ParamMAE:        ParamMAE(p.Scaling, predT, truthT),
 			RuntimeMedianAE: stats.MedianAPE(preds, actual),
@@ -269,7 +247,8 @@ func (p *Pipeline) EvaluateFlighted(ds *flight.Dataset) ([]ModelEval, error) {
 
 func (p *Pipeline) evalXGBSSFlighted(ds *flight.Dataset) (pattern float64, _ int, err error) {
 	flags, err := parallel.Map(context.Background(), len(ds.Jobs), p.Config.Workers, func(i int) (bool, error) {
-		_, runtimes, err := p.PredictCurveXGBSS(ds.Jobs[i].Record)
+		rec := ds.Jobs[i].Record
+		_, runtimes, err := p.XGB.PredictCurveSS(rec.Job, rec.ObservedTokens, p.Config.SplineLambda)
 		if err != nil {
 			return false, err
 		}

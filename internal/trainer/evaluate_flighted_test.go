@@ -52,7 +52,8 @@ func TestEvaluateFlightedAndWorkloadSavings(t *testing.T) {
 	}
 
 	// Workload savings with the GNN curve (the paper's §5.4 analysis).
-	savings, err := EvaluateWorkloadSavings(ds, p.PredictCurveGNN)
+	gnnPredict := RecordPredictor(predictorFor(t, p, ModelGNN))
+	savings, err := EvaluateWorkloadSavings(ds, gnnPredict)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestEvaluateFlightedAndWorkloadSavings(t *testing.T) {
 	if _, err := p.EvaluateFlighted(nil); err == nil {
 		t.Fatal("nil dataset accepted")
 	}
-	if _, err := EvaluateWorkloadSavings(nil, p.PredictCurveGNN); err == nil {
+	if _, err := EvaluateWorkloadSavings(nil, gnnPredict); err == nil {
 		t.Fatal("nil dataset accepted in savings")
 	}
 }

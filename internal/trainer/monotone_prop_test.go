@@ -32,9 +32,11 @@ func TestNeuralCurvesMonotoneNonIncreasing(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
+				nnPredict := RecordPredictor(predictorFor(t, p, ModelNN))
+				gnnPredict := RecordPredictor(predictorFor(t, p, ModelGNN))
 				for _, rec := range test {
-					checkMonotoneCurve(t, ModelNN, rec, p.PredictCurveNN)
-					checkMonotoneCurve(t, ModelGNN, rec, p.PredictCurveGNN)
+					checkMonotoneCurve(t, ModelNN, rec, nnPredict)
+					checkMonotoneCurve(t, ModelGNN, rec, gnnPredict)
 				}
 			})
 		}

@@ -3,12 +3,15 @@ package trainer
 import (
 	"context"
 	"errors"
+	"sync"
 
 	"tasq/internal/arepas"
+	"tasq/internal/autotoken"
 	"tasq/internal/features"
 	"tasq/internal/jobrepo"
 	"tasq/internal/ml/gbt"
 	"tasq/internal/ml/linalg"
+	"tasq/internal/model"
 	"tasq/internal/parallel"
 	"tasq/internal/pcc"
 	"tasq/internal/scopesim"
@@ -61,9 +64,23 @@ type Pipeline struct {
 	XGB       *XGBModel
 	NN        *NNModel
 	GNN       *GNNModel
+	// AutoToken is the §6.2 peak-only baseline, trained alongside the
+	// curve models so it is servable and shadow-comparable. It is nil
+	// when the training set has no recurring jobs (pipelines persisted
+	// before this field existed decode it as nil — untrained).
+	AutoToken *autotoken.Model
 	// TrainTargets are the AREPAS-derived PCC targets of the training
 	// set, index-aligned with the training records.
 	TrainTargets []Target
+	// ScorePolicy overrides the ordered model-fallback chain used by
+	// ScoreJob and OptimalTokens; empty means model.DefaultPolicy
+	// (NN → GNN → XGBoost PL).
+	ScorePolicy model.Policy
+
+	// mux caches the predictor registry; built lazily on first use and
+	// skipped by gob (unexported).
+	muxOnce sync.Once
+	mux     *model.Mux
 }
 
 // Train builds targets, fits scalers and trains the configured models on
@@ -133,6 +150,14 @@ func Train(recs []*jobrepo.Record, cfg Config) (*Pipeline, error) {
 			return nil, err
 		}
 	}
+
+	// AutoToken baseline (§6.2): deterministic, cheap, and only possible
+	// when the training set has recurring jobs — an all-ad-hoc set
+	// leaves it untrained rather than failing the pipeline, mirroring
+	// the coverage gap the paper highlights.
+	if at, err := autotoken.Train(recs, autotoken.Config{}); err == nil {
+		p.AutoToken = at
+	}
 	return p, nil
 }
 
@@ -181,68 +206,29 @@ func stackOperatorRows(recs []*jobrepo.Record) *linalg.Matrix {
 	return out
 }
 
-// PredictCurveNN returns the NN's predicted PCC for a job record.
-func (p *Pipeline) PredictCurveNN(rec *jobrepo.Record) (pcc.Curve, error) {
-	if p.NN == nil {
-		return pcc.Curve{}, errors.New("trainer: NN not trained")
-	}
-	return p.NN.PredictTarget(rec.Job).Curve(), nil
-}
-
-// PredictCurveGNN returns the GNN's predicted PCC for a job record.
-func (p *Pipeline) PredictCurveGNN(rec *jobrepo.Record) (pcc.Curve, error) {
-	if p.GNN == nil {
-		return pcc.Curve{}, errors.New("trainer: GNN not trained")
-	}
-	return p.GNN.PredictTarget(rec.Job).Curve(), nil
-}
-
-// PredictCurveXGBPL returns the XGBoost power-law PCC for a job record,
-// constructed around its observed token count.
-func (p *Pipeline) PredictCurveXGBPL(rec *jobrepo.Record) (pcc.Curve, error) {
-	return p.XGB.PredictCurvePL(rec.Job, rec.ObservedTokens)
-}
-
-// PredictCurveXGBSS returns the XGBoost smoothing-spline curve: the ±40%
-// token grid around the observed token count and smoothed run times.
-func (p *Pipeline) PredictCurveXGBSS(rec *jobrepo.Record) (grid []int, runtimes []float64, err error) {
-	return p.XGB.PredictCurveSS(rec.Job, rec.ObservedTokens, p.Config.SplineLambda)
-}
-
 // ScoreJob predicts a PCC for an incoming job from compile-time
-// information alone — the scoring path of Figure 4. The preferred model is
-// the NN (Table 7's recommended balance), falling back to GNN, then
-// XGBoost PL anchored at the job's requested tokens.
+// information alone — the scoring path of Figure 4. The predictor is
+// chosen by the pipeline's Policy (default: NN, Table 7's recommended
+// balance, falling back to GNN, then XGBoost PL anchored at the job's
+// requested tokens) — the single fallback chain OptimalTokens shares.
 func (p *Pipeline) ScoreJob(job *scopesim.Job) (pcc.Curve, string, error) {
-	switch {
-	case p.NN != nil:
-		return p.NN.PredictTarget(job).Curve(), ModelNN, nil
-	case p.GNN != nil:
-		return p.GNN.PredictTarget(job).Curve(), ModelGNN, nil
-	default:
-		ref := job.RequestedTokens
-		if ref < 1 {
-			ref = 1
-		}
-		c, err := p.XGB.PredictCurvePL(job, ref)
-		return c, ModelXGBPL, err
+	pr, err := p.policy().Select(p.Predictors())
+	if err != nil {
+		return pcc.Curve{}, "", err
 	}
+	curve, err := pr.PredictCurve(job)
+	return curve, pr.Name(), err
 }
 
-// OptimalTokens runs the §2.1 rule on the preferred (NN if present, else
-// GNN, else XGBoost PL) predicted curve: the smallest allocation whose
-// marginal gain per token falls below threshold.
+// OptimalTokens runs the §2.1 rule on the policy-selected predictor's
+// curve, anchored at the record's observed token count: the smallest
+// allocation whose marginal gain per token falls below threshold.
 func (p *Pipeline) OptimalTokens(rec *jobrepo.Record, maxTokens int, threshold float64) (int, error) {
-	var curve pcc.Curve
-	var err error
-	switch {
-	case p.NN != nil:
-		curve, err = p.PredictCurveNN(rec)
-	case p.GNN != nil:
-		curve, err = p.PredictCurveGNN(rec)
-	default:
-		curve, err = p.PredictCurveXGBPL(rec)
+	pr, err := p.policy().Select(p.Predictors())
+	if err != nil {
+		return 0, err
 	}
+	curve, err := model.CurveAt(pr, rec.Job, rec.ObservedTokens)
 	if err != nil {
 		return 0, err
 	}

@@ -1,13 +1,25 @@
 package trainer
 
 import (
+	"errors"
 	"math"
 	"testing"
 
 	"tasq/internal/jobrepo"
+	"tasq/internal/model"
 	"tasq/internal/scopesim"
 	"tasq/internal/workload"
 )
+
+// predictorFor fetches a registered predictor by name.
+func predictorFor(t *testing.T, p *Pipeline, name string) model.Predictor {
+	t.Helper()
+	pr, err := p.Predictors().Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
 
 // dataset builds a small ingested train/test split.
 func dataset(t *testing.T, nTrain, nTest int, seed int64) (train, test []*jobrepo.Record) {
@@ -97,16 +109,19 @@ func TestPipelineTrainsAndPredicts(t *testing.T) {
 		t.Fatal("targets misaligned")
 	}
 
+	nnPredict := RecordPredictor(predictorFor(t, p, ModelNN))
+	gnnPredict := RecordPredictor(predictorFor(t, p, ModelGNN))
+	plPredict := RecordPredictor(predictorFor(t, p, ModelXGBPL))
 	for _, rec := range test[:10] {
 		// NN and GNN curves are monotone non-increasing by construction.
-		nnCurve, err := p.PredictCurveNN(rec)
+		nnCurve, err := nnPredict(rec)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !nnCurve.NonIncreasing() {
 			t.Fatalf("NN curve not non-increasing: %+v", nnCurve)
 		}
-		gnnCurve, err := p.PredictCurveGNN(rec)
+		gnnCurve, err := gnnPredict(rec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -117,14 +132,14 @@ func TestPipelineTrainsAndPredicts(t *testing.T) {
 		if rt := p.XGB.PredictRuntime(rec.Job, rec.ObservedTokens); rt <= 0 {
 			t.Fatalf("XGBoost runtime %v", rt)
 		}
-		plCurve, err := p.PredictCurveXGBPL(rec)
+		plCurve, err := plPredict(rec)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !plCurve.Valid() {
 			t.Fatalf("PL curve invalid: %+v", plCurve)
 		}
-		grid, runtimes, err := p.PredictCurveXGBSS(rec)
+		grid, runtimes, err := p.XGB.PredictCurveSS(rec.Job, rec.ObservedTokens, p.Config.SplineLambda)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -146,11 +161,13 @@ func TestSkipFlags(t *testing.T) {
 	if p.NN != nil || p.GNN != nil {
 		t.Fatal("skip flags ignored")
 	}
-	if _, err := p.PredictCurveNN(train[0]); err == nil {
-		t.Fatal("NN prediction without model accepted")
+	// The skipped models stay registered but report untrained — the
+	// typed error the serving layer maps to a 409.
+	if _, err := RecordPredictor(predictorFor(t, p, ModelNN))(train[0]); !errors.Is(err, model.ErrUntrained) {
+		t.Fatalf("NN prediction without model: %v", err)
 	}
-	if _, err := p.PredictCurveGNN(train[0]); err == nil {
-		t.Fatal("GNN prediction without model accepted")
+	if _, err := RecordPredictor(predictorFor(t, p, ModelGNN))(train[0]); !errors.Is(err, model.ErrUntrained) {
+		t.Fatalf("GNN prediction without model: %v", err)
 	}
 	// OptimalTokens falls back to XGBoost PL.
 	if _, err := p.OptimalTokens(train[0], 0, 0.01); err != nil {

@@ -11,6 +11,7 @@ import (
 	"tasq/internal/ml/gbt"
 	"tasq/internal/ml/linalg"
 	"tasq/internal/ml/spline"
+	"tasq/internal/model"
 	"tasq/internal/parallel"
 	"tasq/internal/pcc"
 	"tasq/internal/scopesim"
@@ -92,21 +93,11 @@ func (m *XGBModel) PredictRuntime(job *scopesim.Job, tokens int) float64 {
 }
 
 // CurveRegion returns the paper's ±40%-of-reference token grid on which
-// XGBoost curves are constructed and the Pattern metric judged.
+// XGBoost curves are constructed and the Pattern metric judged. The grid
+// lives in the model package (the simulator baselines fit over the same
+// region); this forwarder keeps the trainer's historical call sites.
 func CurveRegion(reference int) []int {
-	var out []int
-	seen := map[int]bool{}
-	for f := 0.6; f <= 1.401; f += 0.1 {
-		tok := int(math.Round(f * float64(reference)))
-		if tok < 1 {
-			tok = 1
-		}
-		if !seen[tok] {
-			seen[tok] = true
-			out = append(out, tok)
-		}
-	}
-	return out
+	return model.CurveRegion(reference)
 }
 
 // PredictCurveSS implements XGBoost SS: point predictions over the ±40%

@@ -16,10 +16,10 @@ echo "== go vet"
 go vet ./...
 echo "== go build"
 go build ./...
-echo "== go test"
-go test ./...
+echo "== go test (shuffled)"
+go test -shuffle=on ./...
 echo "== go test -race (serving + registry path)"
-go test -race ./internal/serve/... ./internal/obs/... ./internal/registry/... ./cmd/tasqd/...
+go test -race -shuffle=on ./internal/serve/... ./internal/obs/... ./internal/registry/... ./internal/model/... ./cmd/tasqd/...
 echo "== go test -race (parallel offline pipeline)"
-go test -race ./internal/parallel/... ./internal/flight/... ./internal/trainer/... ./internal/experiments/...
+go test -race -shuffle=on ./internal/parallel/... ./internal/flight/... ./internal/trainer/... ./internal/experiments/...
 echo "check: ok"

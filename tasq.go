@@ -7,6 +7,7 @@ import (
 	"tasq/internal/arepas"
 	"tasq/internal/flight"
 	"tasq/internal/jobrepo"
+	"tasq/internal/model"
 	"tasq/internal/pcc"
 	"tasq/internal/registry"
 	"tasq/internal/scheduler"
@@ -96,6 +97,16 @@ type (
 	ModelManifest = registry.Manifest
 	// ModelReloader hot-swaps a ScoringServer against a ModelRegistry.
 	ModelReloader = serve.Reloader
+	// Predictor is one registered curve model: a trained model or a
+	// prior-art baseline, addressable by name.
+	Predictor = model.Predictor
+	// PredictorInfo describes one registered predictor (name, kind,
+	// trained state) — what GET /v1/models returns per entry.
+	PredictorInfo = model.Info
+	// PredictorPolicy is an ordered fallback chain of predictor names;
+	// assign one to Pipeline.ScorePolicy to override the default
+	// NN → GNN → XGBoost-PL order.
+	PredictorPolicy = model.Policy
 )
 
 // Loss kinds for the constrained neural models (§4.5 of the paper).
@@ -194,6 +205,11 @@ func OpenModelRegistry(dir string) (*ModelRegistry, error) { return registry.Ope
 func NewModelReloader(reg *ModelRegistry, srv *ScoringServer, interval time.Duration) *ModelReloader {
 	return serve.NewReloader(reg, srv, interval, nil)
 }
+
+// ParsePredictorPolicy parses a comma-separated fallback chain such as
+// "GNN,NN" (names are case- and punctuation-insensitive); the empty
+// string selects the built-in default.
+func ParsePredictorPolicy(s string) PredictorPolicy { return model.ParsePolicy(s) }
 
 // MedianAPE returns the median absolute percentage error (as a fraction)
 // between predictions and ground truth.
