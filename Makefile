@@ -5,11 +5,12 @@
 #   make race      race-detector pass over the concurrent paths
 #   make check     full gate: fmt + vet + build + tests + race (run before merging)
 #   make coverage  coverage profile with the fail-below-baseline floor
+#   make chaos     deterministic chaos/soak harness under the race detector
 #   make bench     per-stage pipeline benchmarks -> BENCH_pipeline.json
 
 GO ?= go
 
-.PHONY: build test race vet fmt check coverage bench
+.PHONY: build test race vet fmt check coverage chaos bench
 
 build:
 	$(GO) build ./...
@@ -25,8 +26,14 @@ vet:
 # ingest/augmentation/training/experiments across a worker pool. Keep all
 # of it provably race-clean (mirrors scripts/check.sh).
 race:
-	$(GO) test -race ./internal/serve/... ./internal/obs/... ./internal/registry/... ./internal/model/... ./cmd/tasqd/...
+	$(GO) test -race ./internal/serve/... ./internal/obs/... ./internal/registry/... ./internal/model/... ./internal/faults/... ./cmd/tasqd/...
 	$(GO) test -race ./internal/parallel/... ./internal/flight/... ./internal/trainer/... ./internal/experiments/...
+
+# Seeded fault-injection chaos/soak runs over the serving stack (three
+# fixed seeds plus a same-seed reproducibility check); -short keeps the
+# storm within the CI budget while exercising every phase.
+chaos:
+	$(GO) test -race -short -run 'TestChaos' -count=1 ./internal/harness/...
 
 coverage:
 	scripts/coverage.sh
@@ -38,5 +45,5 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt: needs formatting:"; echo "$$out"; exit 1; fi
 
-check: fmt vet test race
+check: fmt vet test race chaos
 	@echo "check: ok"

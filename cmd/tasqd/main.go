@@ -26,15 +26,26 @@
 // divergence metrics are exported on /metrics, so promotion (repinning or
 // unpinning) can be judged from real traffic.
 //
+// Scoring endpoints sit behind a bounded admission gate (-max-inflight,
+// -max-queue, -queue-wait): beyond the concurrency limit requests wait in
+// a FIFO queue, and overflow or queue-deadline expiry is shed with 429 +
+// Retry-After or 504 instead of queueing unboundedly.
+//
 // The daemon shuts down gracefully: on SIGINT/SIGTERM it flips /readyz to
-// draining, waits the readiness grace period so load balancers stop
-// routing new work here, then closes the listener and lets in-flight
-// requests finish within the drain deadline.
+// draining and the admission gate to refusing new scoring work (503),
+// waits the readiness grace period so load balancers stop routing new
+// work here, then closes the listener and lets in-flight requests finish
+// within the drain deadline.
+//
+// For resilience testing only, -fault-profile injects deterministic
+// faults (seeded; see internal/faults): scoring latency, synthetic 500s,
+// per-batch-item failures, and slow or corrupt registry reads.
 //
 // Usage:
 //
 //	tasqd -model model.gob -addr :8080 -drain 15s
 //	tasqd -registry models/ -poll 10s -shadow-sample 0.25 -addr :8080
+//	tasqd -model model.gob -fault-profile 'seed=42,error=0.1,latency=0.2:5ms'  # dev chaos
 package main
 
 import (
@@ -50,6 +61,7 @@ import (
 	"syscall"
 	"time"
 
+	"tasq/internal/faults"
 	"tasq/internal/model"
 	"tasq/internal/obs"
 	"tasq/internal/registry"
@@ -84,6 +96,10 @@ func run(ctx context.Context, args []string) error {
 	idleTimeout := fs.Duration("idle-timeout", 120*time.Second, "keep-alive idle connection timeout")
 	maxHeaderBytes := fs.Int("max-header-bytes", 1<<20, "request header size limit")
 	workers := fs.Int("workers", 0, "batch-scoring worker pool size (0 = NumCPU)")
+	maxInFlight := fs.Int("max-inflight", 0, "max concurrently executing scoring requests (0 = default)")
+	maxQueue := fs.Int("max-queue", -1, "max scoring requests queued behind the in-flight limit before shedding 429 (-1 = default)")
+	queueWait := fs.Duration("queue-wait", 0, "max time a scoring request may wait in the admission queue before shedding 504 (0 = default)")
+	faultProfile := fs.String("fault-profile", "", "DEV ONLY: inject deterministic faults, e.g. 'seed=42,latency=0.2:5ms,error=0.1,batch-item=0.05,registry-slow=0.1:10ms,registry-corrupt=0.02'")
 	policyFlag := fs.String("policy", "", "comma-separated predictor fallback chain for requests that name no model (e.g. 'GNN,NN'; empty = built-in NN,GNN,XGBoost-PL order)")
 	quiet := fs.Bool("quiet", false, "disable structured request logging")
 	if err := fs.Parse(args); err != nil {
@@ -97,6 +113,20 @@ func run(ctx context.Context, args []string) error {
 	if *workers > 0 {
 		opts = append(opts, serve.WithWorkers(*workers))
 	}
+	opts = append(opts, serve.WithAdmission(*maxInFlight, *maxQueue, *queueWait))
+
+	var inj *faults.Injector
+	if *faultProfile != "" {
+		seed, profile, err := faults.ParseProfile(*faultProfile)
+		if err != nil {
+			return err
+		}
+		if !profile.Zero() {
+			inj = faults.New(seed, profile)
+			opts = append(opts, serve.WithFaultInjector(inj))
+			log.Printf("tasqd: WARNING: fault injection enabled (seed=%d, profile %+v) — requests WILL fail on purpose; never use -fault-profile in production", seed, profile)
+		}
+	}
 
 	var srv *serve.Server
 	var source string
@@ -107,6 +137,11 @@ func run(ctx context.Context, args []string) error {
 		reg, err := registry.Open(*registryDir)
 		if err != nil {
 			return err
+		}
+		if inj != nil {
+			// The dev fault profile also exercises the reload path: slow
+			// and corrupt artifact reads on every registry sync.
+			reg.SetReadHook(inj.RegistryRead)
 		}
 		srv, err = serve.NewUnloadedServer(opts...)
 		if err != nil {
@@ -189,11 +224,13 @@ func run(ctx context.Context, args []string) error {
 	case <-ctx.Done():
 	}
 
-	// Drain: flip readiness first so orchestrators stop sending traffic,
-	// give them the grace period to notice, then close the listener and
-	// wait for in-flight requests up to the drain deadline.
+	// Drain: flip readiness and the admission gate first so orchestrators
+	// stop sending traffic and new scoring work is refused with 503 while
+	// queued requests finish, give load balancers the grace period to
+	// notice, then close the listener and wait for in-flight requests up
+	// to the drain deadline.
 	log.Printf("tasqd: draining (grace %s, deadline %s)", *grace, *drain)
-	srv.SetReady(false)
+	srv.BeginDrain()
 	if *grace > 0 {
 		time.Sleep(*grace)
 	}

@@ -133,6 +133,25 @@ func TestGracefulShutdownOnSIGTERM(t *testing.T) {
 	if _, err := conn.Write(payload[:half]); err != nil {
 		t.Fatal(err)
 	}
+	// Wait until the admission gate has actually admitted the held-open
+	// request: the drain contract finishes admitted work but refuses
+	// anything still outside the gate, so firing SIGTERM earlier would
+	// legitimately shed this request with 503.
+	admitted := false
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		m, err := client.Metrics()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(m, "tasq_admission_in_flight 1\n") {
+			admitted = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !admitted {
+		t.Fatal("held-open request never entered the admission gate")
+	}
 
 	// SIGTERM: the daemon must flip /readyz to draining and keep the
 	// listener open for the grace period.
@@ -360,6 +379,121 @@ func TestServesBatchAndMetrics(t *testing.T) {
 		}
 	case <-time.After(20 * time.Second):
 		t.Fatal("daemon did not exit after context cancel")
+	}
+}
+
+// bootDaemon starts tasqd with the given extra flags over a trained model
+// file and returns a client plus a shutdown func that asserts a clean exit.
+func bootDaemon(t *testing.T, job *scopesim.Job, extra ...string) (*serve.Client, *scopesim.Job, func()) {
+	t.Helper()
+	modelPath, j := trainModelWithJob(t)
+	if job != nil {
+		j = job
+	}
+	addrCh := make(chan net.Addr, 1)
+	testOnListen = func(a net.Addr) { addrCh <- a }
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	args := append([]string{"-model", modelPath, "-addr", "127.0.0.1:0", "-quiet"}, extra...)
+	go func() { done <- run(ctx, args) }()
+	var addr net.Addr
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for listener")
+	}
+	testOnListen = nil
+	stop := func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run returned %v, want nil", err)
+			}
+		case <-time.After(20 * time.Second):
+			t.Fatal("daemon did not exit after context cancel")
+		}
+	}
+	return serve.NewClient("http://" + addr.String()), j, stop
+}
+
+// TestFaultProfileFlag boots tasqd with a rate-1 synthetic-error profile:
+// every scoring request must fail with the injected 500 while probes and
+// metrics stay healthy — and a malformed profile is rejected at startup.
+func TestFaultProfileFlag(t *testing.T) {
+	modelPath := trainModel(t)
+	if err := run(context.Background(), []string{
+		"-model", modelPath, "-addr", "127.0.0.1:0", "-quiet",
+		"-fault-profile", "error=2.0",
+	}); err == nil {
+		t.Fatal("out-of-range fault profile accepted")
+	}
+
+	client, job, stop := bootDaemon(t, nil, "-fault-profile", "seed=3,error=1.0")
+	defer stop()
+
+	for i := 0; i < 3; i++ {
+		_, err := client.Score(&serve.ScoreRequest{Job: job})
+		se, ok := err.(*serve.StatusError)
+		if !ok || se.Code != http.StatusInternalServerError {
+			t.Fatalf("score %d under rate-1 error profile: %v, want injected 500", i, err)
+		}
+		if !strings.Contains(se.Message, "injected") {
+			t.Fatalf("score %d error does not identify the injection: %s", i, se.Message)
+		}
+	}
+	if err := client.Health(); err != nil {
+		t.Fatalf("health under fault profile: %v", err)
+	}
+	metrics, err := client.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metrics, `tasq_score_jobs_total{outcome="failed"} 3`) {
+		t.Fatalf("injected failures not counted:\n%s", metrics)
+	}
+}
+
+// TestAdmissionFlags boots tasqd with a single scoring slot, no queue and
+// rate-1 injected latency, then fires concurrent scores: the slot holder
+// succeeds (slowly) and the overflow is shed with 429 + Retry-After.
+func TestAdmissionFlags(t *testing.T) {
+	client, job, stop := bootDaemon(t, nil,
+		"-max-inflight", "1", "-max-queue", "0",
+		"-fault-profile", "seed=5,latency=1.0:300ms",
+	)
+	defer stop()
+
+	const n = 4
+	type outcome struct {
+		err error
+	}
+	results := make(chan outcome, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			_, err := client.Score(&serve.ScoreRequest{Job: job})
+			results <- outcome{err: err}
+		}()
+	}
+	oks, sheds := 0, 0
+	for i := 0; i < n; i++ {
+		res := <-results
+		switch se, ok := res.err.(*serve.StatusError); {
+		case res.err == nil:
+			oks++
+		case ok && se.Code == http.StatusTooManyRequests:
+			sheds++
+			if se.RetryAfter <= 0 {
+				t.Fatalf("429 shed without Retry-After: %v", se)
+			}
+		default:
+			t.Fatalf("unexpected outcome under saturation: %v", res.err)
+		}
+	}
+	if oks == 0 || sheds == 0 {
+		t.Fatalf("saturation split %d ok / %d shed, want both nonzero", oks, sheds)
 	}
 }
 

@@ -1,0 +1,379 @@
+// Package faults is the deterministic fault injector behind the serving
+// stack's chaos and soak testing. Production serving at the paper's scale
+// (Cosmos/SCOPE operators tolerating transient infrastructure failure)
+// demands that the scoring service degrade gracefully; this package makes
+// those failures *reproducible* so tests can assert on them.
+//
+// Determinism is the design constraint, exactly as in internal/parallel:
+// every injection decision is a pure function of (seed, site, n) — the
+// SplitMix64 finalizer over the seed, a site-name hash and the site's n-th
+// draw — never of wall-clock time or goroutine identity. Same seed ⇒ same
+// per-site fault schedule, so a chaos run that fails can be replayed
+// byte-for-byte. The schedule for any prefix can be recomputed offline
+// with Schedule and cross-checked against an Injector's recorded stats
+// with Verify.
+//
+// The injector is wired into the serving stack through test-only hooks
+// and the `tasqd -fault-profile` dev flag: injected scoring latency,
+// synthetic 5xx scoring errors, per-item batch failures, and slow or
+// corrupt registry artifact reads.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected marks a synthetic failure produced by the injector; the
+// serving stack maps it to HTTP 500 like any other internal error.
+var ErrInjected = errors.New("faults: injected failure")
+
+// Injection sites. Each site draws from its own deterministic decision
+// stream, so enabling one fault type never perturbs another's schedule.
+const (
+	SiteScoreLatency    = "score.latency"
+	SiteScoreError      = "score.error"
+	SiteBatchItem       = "batch.item"
+	SiteRegistrySlow    = "registry.slow"
+	SiteRegistryCorrupt = "registry.corrupt"
+)
+
+// Profile describes the fault mix: a firing probability per site plus the
+// injected magnitude where one applies. The zero Profile injects nothing.
+type Profile struct {
+	// LatencyRate is the probability a scoring request is delayed by
+	// Latency before the model runs.
+	LatencyRate float64
+	Latency     time.Duration
+	// ErrorRate is the probability a scoring request fails with a
+	// synthetic internal error (HTTP 500).
+	ErrorRate float64
+	// BatchItemRate is the probability an individual batch item fails
+	// with a synthetic per-item 500, independent of its siblings.
+	BatchItemRate float64
+	// RegistrySlowRate is the probability a registry payload read is
+	// delayed by RegistrySlow — disk/remote-store latency variance.
+	RegistrySlowRate float64
+	RegistrySlow     time.Duration
+	// RegistryCorruptRate is the probability a registry payload read
+	// returns corrupted bytes, which the registry's checksum verification
+	// must catch.
+	RegistryCorruptRate float64
+}
+
+// Zero reports whether the profile injects nothing.
+func (p Profile) Zero() bool { return p == Profile{} }
+
+// rateFor maps a site name to its profile rate.
+func (p Profile) rateFor(site string) float64 {
+	switch site {
+	case SiteScoreLatency:
+		return p.LatencyRate
+	case SiteScoreError:
+		return p.ErrorRate
+	case SiteBatchItem:
+		return p.BatchItemRate
+	case SiteRegistrySlow:
+		return p.RegistrySlowRate
+	case SiteRegistryCorrupt:
+		return p.RegistryCorruptRate
+	}
+	return 0
+}
+
+// Sites lists every injection site in deterministic order.
+func Sites() []string {
+	return []string{
+		SiteScoreLatency, SiteScoreError, SiteBatchItem,
+		SiteRegistrySlow, SiteRegistryCorrupt,
+	}
+}
+
+// ParseProfile parses the `-fault-profile` flag syntax: comma-separated
+// key=value fields, where rate-only faults take a probability in [0, 1]
+// and rate+magnitude faults take `rate:duration`.
+//
+//	seed=42,latency=0.2:5ms,error=0.1,batch-item=0.05,registry-slow=0.1:10ms,registry-corrupt=0.02
+//
+// Omitted fields inject nothing; an omitted seed defaults to 1. An empty
+// spec returns the zero profile.
+func ParseProfile(spec string) (seed int64, p Profile, err error) {
+	seed = 1
+	if strings.TrimSpace(spec) == "" {
+		return seed, p, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok || val == "" {
+			return 0, Profile{}, fmt.Errorf("faults: field %q: want key=value", field)
+		}
+		switch key {
+		case "seed":
+			seed, err = strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return 0, Profile{}, fmt.Errorf("faults: seed %q: %v", val, err)
+			}
+		case "latency":
+			if err := parseRateDur(val, 5*time.Millisecond, &p.LatencyRate, &p.Latency); err != nil {
+				return 0, Profile{}, fmt.Errorf("faults: latency %q: %v", val, err)
+			}
+		case "error":
+			if err := parseRate(val, &p.ErrorRate); err != nil {
+				return 0, Profile{}, fmt.Errorf("faults: error %q: %v", val, err)
+			}
+		case "batch-item":
+			if err := parseRate(val, &p.BatchItemRate); err != nil {
+				return 0, Profile{}, fmt.Errorf("faults: batch-item %q: %v", val, err)
+			}
+		case "registry-slow":
+			if err := parseRateDur(val, 10*time.Millisecond, &p.RegistrySlowRate, &p.RegistrySlow); err != nil {
+				return 0, Profile{}, fmt.Errorf("faults: registry-slow %q: %v", val, err)
+			}
+		case "registry-corrupt":
+			if err := parseRate(val, &p.RegistryCorruptRate); err != nil {
+				return 0, Profile{}, fmt.Errorf("faults: registry-corrupt %q: %v", val, err)
+			}
+		default:
+			return 0, Profile{}, fmt.Errorf("faults: unknown field %q", key)
+		}
+	}
+	return seed, p, nil
+}
+
+func parseRate(s string, rate *float64) error {
+	r, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return err
+	}
+	if r < 0 || r > 1 {
+		return fmt.Errorf("rate %v outside [0, 1]", r)
+	}
+	*rate = r
+	return nil
+}
+
+func parseRateDur(s string, def time.Duration, rate *float64, dur *time.Duration) error {
+	rs, ds, ok := strings.Cut(s, ":")
+	if err := parseRate(rs, rate); err != nil {
+		return err
+	}
+	*dur = def
+	if ok {
+		d, err := time.ParseDuration(ds)
+		if err != nil {
+			return err
+		}
+		if d < 0 {
+			return fmt.Errorf("negative duration %v", d)
+		}
+		*dur = d
+	}
+	return nil
+}
+
+// Unit is the pure decision stream: the n-th uniform [0, 1) draw of a
+// site under a seed, via the SplitMix64 finalizer over the seed, an
+// FNV-1a hash of the site name, and the draw index. The finalizer's
+// avalanche behaviour keeps neighbouring draws statistically independent
+// even though the inputs are highly correlated.
+func Unit(seed int64, site string, n int64) float64 {
+	z := uint64(seed) ^ fnv1a(site)
+	z += 0x9e3779b97f4a7c15 * (uint64(n) + 1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Decide reports whether the n-th draw of a site fires at the given rate
+// — the pure function every Injector decision reduces to.
+func Decide(seed int64, site string, n int64, rate float64) bool {
+	return rate > 0 && Unit(seed, site, n) < rate
+}
+
+// Schedule returns the first n decisions of a site — the deterministic
+// fault schedule a same-seed rerun must reproduce. Tests assert equality
+// of schedules across runs and consistency of an Injector's recorded
+// firings against them (Verify).
+func Schedule(seed int64, site string, rate float64, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = Decide(seed, site, int64(i), rate)
+	}
+	return out
+}
+
+// Corrupt returns a copy of b with one byte flipped (the middle one), the
+// minimal corruption that must trip any checksum verification. Empty
+// input comes back empty.
+func Corrupt(b []byte) []byte {
+	out := append([]byte(nil), b...)
+	if len(out) > 0 {
+		out[len(out)/2] ^= 0xFF
+	}
+	return out
+}
+
+// SiteStats records how often a site was consulted and how often it fired.
+type SiteStats struct {
+	Draws int64
+	Fired int64
+}
+
+// siteCounter is the lock-free per-site draw counter.
+type siteCounter struct {
+	draws atomic.Int64
+	fired atomic.Int64
+}
+
+// Injector hands out fault decisions from per-site deterministic streams.
+// Safe for concurrent use: the n-th draw of a site always answers from
+// decision n of the pure schedule, whichever goroutine makes it.
+type Injector struct {
+	seed    int64
+	profile Profile
+	enabled atomic.Bool
+
+	mu    sync.Mutex
+	sites map[string]*siteCounter
+}
+
+// New builds an enabled injector over a seed and profile.
+func New(seed int64, p Profile) *Injector {
+	in := &Injector{seed: seed, profile: p, sites: make(map[string]*siteCounter)}
+	in.enabled.Store(true)
+	return in
+}
+
+// Seed returns the injector's seed.
+func (in *Injector) Seed() int64 { return in.seed }
+
+// Profile returns the injector's fault profile.
+func (in *Injector) Profile() Profile { return in.profile }
+
+// SetEnabled gates all injection without perturbing the schedules: while
+// disabled no draws are consumed, so re-enabling resumes exactly where
+// the schedule left off. Chaos harnesses disable faults to prove the
+// stack recovers to 100% success once the storm clears.
+func (in *Injector) SetEnabled(v bool) { in.enabled.Store(v) }
+
+// Enabled reports whether the injector is active.
+func (in *Injector) Enabled() bool { return in.enabled.Load() }
+
+func (in *Injector) site(name string) *siteCounter {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s, ok := in.sites[name]
+	if !ok {
+		s = &siteCounter{}
+		in.sites[name] = s
+	}
+	return s
+}
+
+// draw consumes the next decision of a site.
+func (in *Injector) draw(site string, rate float64) bool {
+	if in == nil || rate <= 0 || !in.enabled.Load() {
+		return false
+	}
+	s := in.site(site)
+	n := s.draws.Add(1) - 1
+	if Decide(in.seed, site, n, rate) {
+		s.fired.Add(1)
+		return true
+	}
+	return false
+}
+
+// Latency returns the injected delay for the next scoring request, or 0.
+func (in *Injector) Latency() time.Duration {
+	if in != nil && in.draw(SiteScoreLatency, in.profile.LatencyRate) {
+		return in.profile.Latency
+	}
+	return 0
+}
+
+// ScoreError returns the synthetic failure for the next scoring request,
+// or nil.
+func (in *Injector) ScoreError() error {
+	if in != nil && in.draw(SiteScoreError, in.profile.ErrorRate) {
+		return fmt.Errorf("%w: score", ErrInjected)
+	}
+	return nil
+}
+
+// BatchItemError returns the synthetic failure for the next batch item,
+// or nil.
+func (in *Injector) BatchItemError() error {
+	if in != nil && in.draw(SiteBatchItem, in.profile.BatchItemRate) {
+		return fmt.Errorf("%w: batch item", ErrInjected)
+	}
+	return nil
+}
+
+// RegistryRead is the registry read hook: it delays and/or corrupts a
+// payload read according to the schedule. The signature matches
+// registry.ReadHook so `reg.SetReadHook(inj.RegistryRead)` wires it up
+// without this package importing the registry.
+func (in *Injector) RegistryRead(version int, payload []byte) ([]byte, error) {
+	if in == nil {
+		return payload, nil
+	}
+	if in.draw(SiteRegistrySlow, in.profile.RegistrySlowRate) {
+		time.Sleep(in.profile.RegistrySlow)
+	}
+	if in.draw(SiteRegistryCorrupt, in.profile.RegistryCorruptRate) {
+		return Corrupt(payload), nil
+	}
+	return payload, nil
+}
+
+// Stats snapshots the per-site draw and fire counts, keyed by site name.
+func (in *Injector) Stats() map[string]SiteStats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]SiteStats, len(in.sites))
+	for name, s := range in.sites {
+		out[name] = SiteStats{Draws: s.draws.Load(), Fired: s.fired.Load()}
+	}
+	return out
+}
+
+// Verify cross-checks the injector's recorded behaviour against the pure
+// schedule: for every consulted site, the number of firings must equal
+// the number of true decisions in the schedule prefix of length Draws.
+// A mismatch means determinism was broken.
+func (in *Injector) Verify() error {
+	var bad []string
+	for site, st := range in.Stats() {
+		want := int64(0)
+		for _, fire := range Schedule(in.seed, site, in.profile.rateFor(site), int(st.Draws)) {
+			if fire {
+				want++
+			}
+		}
+		if st.Fired != want {
+			bad = append(bad, fmt.Sprintf("%s: fired %d, schedule says %d over %d draws", site, st.Fired, want, st.Draws))
+		}
+	}
+	if len(bad) > 0 {
+		sort.Strings(bad)
+		return fmt.Errorf("faults: schedule mismatch: %s", strings.Join(bad, "; "))
+	}
+	return nil
+}

@@ -1,0 +1,303 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestUnitDeterministicAndUniform pins the decision stream: pure in its
+// inputs, stable across calls, spread over [0, 1), and decorrelated
+// between sites and seeds.
+func TestUnitDeterministicAndUniform(t *testing.T) {
+	const n = 4096
+	var sum float64
+	for i := int64(0); i < n; i++ {
+		u := Unit(42, SiteScoreError, i)
+		if u < 0 || u >= 1 {
+			t.Fatalf("Unit(42, score.error, %d) = %v outside [0,1)", i, u)
+		}
+		if again := Unit(42, SiteScoreError, i); again != u {
+			t.Fatalf("Unit not pure at n=%d: %v then %v", i, u, again)
+		}
+		sum += u
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.05 {
+		t.Fatalf("mean of %d draws = %v, want ~0.5", n, mean)
+	}
+
+	// Distinct sites and distinct seeds must give distinct streams.
+	same := 0
+	for i := int64(0); i < 64; i++ {
+		if Unit(42, SiteScoreError, i) == Unit(42, SiteBatchItem, i) {
+			same++
+		}
+		if Unit(42, SiteScoreError, i) == Unit(43, SiteScoreError, i) {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Fatalf("%d collisions between streams that must differ", same)
+	}
+}
+
+// TestScheduleMatchesDecide pins Schedule as the prefix of Decide and
+// checks the rate extremes: 0 never fires, 1 always fires.
+func TestScheduleMatchesDecide(t *testing.T) {
+	sched := Schedule(7, SiteScoreLatency, 0.3, 100)
+	for i, fire := range sched {
+		if fire != Decide(7, SiteScoreLatency, int64(i), 0.3) {
+			t.Fatalf("schedule[%d] disagrees with Decide", i)
+		}
+	}
+	for i, fire := range Schedule(7, SiteScoreLatency, 0, 50) {
+		if fire {
+			t.Fatalf("rate 0 fired at %d", i)
+		}
+	}
+	for i, fire := range Schedule(7, SiteScoreLatency, 1, 50) {
+		if !fire {
+			t.Fatalf("rate 1 missed at %d", i)
+		}
+	}
+	// A middling rate over a long prefix fires roughly that often.
+	fired := 0
+	for _, f := range Schedule(7, SiteScoreLatency, 0.3, 2000) {
+		if f {
+			fired++
+		}
+	}
+	if frac := float64(fired) / 2000; math.Abs(frac-0.3) > 0.05 {
+		t.Fatalf("rate 0.3 fired %v of the time", frac)
+	}
+}
+
+// TestParseProfile exercises the -fault-profile syntax: full spec,
+// defaults, and each rejection.
+func TestParseProfile(t *testing.T) {
+	seed, p, err := ParseProfile("seed=42,latency=0.2:5ms,error=0.1,batch-item=0.05,registry-slow=0.1:10ms,registry-corrupt=0.02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Profile{
+		LatencyRate: 0.2, Latency: 5 * time.Millisecond,
+		ErrorRate: 0.1, BatchItemRate: 0.05,
+		RegistrySlowRate: 0.1, RegistrySlow: 10 * time.Millisecond,
+		RegistryCorruptRate: 0.02,
+	}
+	if seed != 42 || p != want {
+		t.Fatalf("got seed=%d profile=%+v, want 42 %+v", seed, p, want)
+	}
+
+	// Empty spec: zero profile, default seed.
+	if seed, p, err = ParseProfile("  "); err != nil || seed != 1 || !p.Zero() {
+		t.Fatalf("empty spec: seed=%d profile=%+v err=%v", seed, p, err)
+	}
+	// Duration defaults apply when the :dur part is omitted.
+	if _, p, err = ParseProfile("latency=0.5"); err != nil || p.Latency != 5*time.Millisecond {
+		t.Fatalf("latency default: %+v err=%v", p, err)
+	}
+	if _, p, err = ParseProfile("registry-slow=0.5"); err != nil || p.RegistrySlow != 10*time.Millisecond {
+		t.Fatalf("registry-slow default: %+v err=%v", p, err)
+	}
+
+	for _, bad := range []string{
+		"latency",            // no value
+		"latency=",           // empty value
+		"error=1.5",          // rate out of range
+		"error=-0.1",         // negative rate
+		"error=abc",          // not a number
+		"latency=0.1:xyz",    // bad duration
+		"latency=0.1:-5ms",   // negative duration
+		"seed=abc",           // bad seed
+		"unknown-fault=0.5",  // unknown key
+		"registry-corrupt=2", // rate out of range
+	} {
+		if _, _, err := ParseProfile(bad); err == nil {
+			t.Fatalf("ParseProfile(%q) accepted", bad)
+		}
+	}
+}
+
+// TestCorrupt pins the corruption primitive: exactly one byte differs, the
+// input is untouched, and empty input is passed through.
+func TestCorrupt(t *testing.T) {
+	in := []byte("hello registry payload")
+	orig := append([]byte(nil), in...)
+	out := Corrupt(in)
+	if !bytes.Equal(in, orig) {
+		t.Fatal("Corrupt mutated its input")
+	}
+	if len(out) != len(in) {
+		t.Fatalf("length changed: %d -> %d", len(in), len(out))
+	}
+	diff := 0
+	for i := range in {
+		if in[i] != out[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want 1", diff)
+	}
+	if got := Corrupt(nil); len(got) != 0 {
+		t.Fatalf("Corrupt(nil) = %v", got)
+	}
+}
+
+// TestInjectorFollowsSchedule drives every site and checks the injector's
+// recorded firings reproduce the pure schedule — the determinism contract
+// Verify enforces.
+func TestInjectorFollowsSchedule(t *testing.T) {
+	p := Profile{
+		LatencyRate: 0.5, Latency: time.Microsecond,
+		ErrorRate: 0.3, BatchItemRate: 0.4,
+		RegistryCorruptRate: 0.5,
+	}
+	in := New(99, p)
+
+	var latencies, errs, items []bool
+	var corrupts []bool
+	payload := []byte("payload-bytes")
+	for i := 0; i < 200; i++ {
+		latencies = append(latencies, in.Latency() > 0)
+		errs = append(errs, in.ScoreError() != nil)
+		items = append(items, in.BatchItemError() != nil)
+		out, err := in.RegistryRead(1, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corrupts = append(corrupts, !bytes.Equal(out, payload))
+	}
+	for site, got := range map[string][]bool{
+		SiteScoreLatency:    latencies,
+		SiteScoreError:      errs,
+		SiteBatchItem:       items,
+		SiteRegistryCorrupt: corrupts,
+	} {
+		want := Schedule(99, site, p.rateFor(site), len(got))
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s draw %d: injector %v, schedule %v", site, i, got[i], want[i])
+			}
+		}
+	}
+	if err := in.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Injected errors unwrap to ErrInjected.
+	full := New(1, Profile{ErrorRate: 1, BatchItemRate: 1})
+	if err := full.ScoreError(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("ScoreError = %v, want ErrInjected", err)
+	}
+	if err := full.BatchItemError(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("BatchItemError = %v, want ErrInjected", err)
+	}
+}
+
+// TestInjectorDisabled proves SetEnabled(false) consumes no draws, so
+// re-enabling resumes the schedule exactly where it left off.
+func TestInjectorDisabled(t *testing.T) {
+	in := New(5, Profile{ErrorRate: 1})
+	if err := in.ScoreError(); err == nil {
+		t.Fatal("enabled injector at rate 1 did not fire")
+	}
+	in.SetEnabled(false)
+	if in.Enabled() {
+		t.Fatal("Enabled() after SetEnabled(false)")
+	}
+	for i := 0; i < 10; i++ {
+		if err := in.ScoreError(); err != nil {
+			t.Fatal("disabled injector fired")
+		}
+		if d := in.Latency(); d != 0 {
+			t.Fatal("disabled injector delayed")
+		}
+	}
+	if got := in.Stats()[SiteScoreError].Draws; got != 1 {
+		t.Fatalf("disabled draws consumed stream: draws=%d, want 1", got)
+	}
+	in.SetEnabled(true)
+	// Draw 1 of the schedule at rate 1 fires.
+	if err := in.ScoreError(); err == nil {
+		t.Fatal("re-enabled injector did not resume schedule")
+	}
+	if err := in.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInjectorNilSafe: a nil injector is a no-op so call sites need no
+// guards.
+func TestInjectorNilSafe(t *testing.T) {
+	var in *Injector
+	if in.Latency() != 0 || in.ScoreError() != nil || in.BatchItemError() != nil {
+		t.Fatal("nil injector injected")
+	}
+	b := []byte("x")
+	if out, err := in.RegistryRead(1, b); err != nil || !bytes.Equal(out, b) {
+		t.Fatalf("nil RegistryRead: %v %v", out, err)
+	}
+}
+
+// TestInjectorConcurrentVerify hammers one injector from many goroutines:
+// total firings must still reconcile with the pure schedule (Verify), and
+// stats must account for every draw.
+func TestInjectorConcurrentVerify(t *testing.T) {
+	in := New(1234, Profile{ErrorRate: 0.37})
+	const workers, per = 8, 250
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				in.ScoreError()
+			}
+		}()
+	}
+	wg.Wait()
+	st := in.Stats()[SiteScoreError]
+	if st.Draws != workers*per {
+		t.Fatalf("draws=%d, want %d", st.Draws, workers*per)
+	}
+	if err := in.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVerifyCatchesMismatch: Verify must fail when recorded firings
+// diverge from the schedule (simulated by poking the counter).
+func TestVerifyCatchesMismatch(t *testing.T) {
+	in := New(8, Profile{ErrorRate: 0.5})
+	for i := 0; i < 50; i++ {
+		in.ScoreError()
+	}
+	in.site(SiteScoreError).fired.Add(1)
+	err := in.Verify()
+	if err == nil || !strings.Contains(err.Error(), SiteScoreError) {
+		t.Fatalf("Verify after tamper: %v", err)
+	}
+}
+
+// TestRegistryReadSlow pins that the slow site delays without corrupting.
+func TestRegistryReadSlow(t *testing.T) {
+	in := New(3, Profile{RegistrySlowRate: 1, RegistrySlow: time.Millisecond})
+	payload := []byte("bytes")
+	start := time.Now()
+	out, err := in.RegistryRead(2, payload)
+	if err != nil || !bytes.Equal(out, payload) {
+		t.Fatalf("slow read altered payload: %v %v", out, err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("slow read did not delay")
+	}
+	if st := in.Stats()[SiteRegistrySlow]; st.Fired != 1 {
+		t.Fatalf("slow site stats %+v", st)
+	}
+}

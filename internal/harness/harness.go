@@ -1,0 +1,846 @@
+// Package harness is the in-process chaos/soak harness for the serving
+// stack: it boots a tasqd-equivalent (registry + reloader + HTTP server)
+// inside the test process, drives mixed traffic from concurrent workers
+// while a seeded fault injector fails scoring requests, batch items and
+// registry reads mid-flight, and asserts the resilience invariants the
+// ISSUE demands:
+//
+//   - the server never wedges: every request gets a well-formed response
+//     from the allowed status set for its operation;
+//   - successful scores are sane: a valid PCC, a known model, a served
+//     generation, and run-time predictions monotone non-increasing in the
+//     token count (the paper's PCC shape);
+//   - overload is shed, not queued unboundedly: saturation produces 429 +
+//     Retry-After from a bounded FIFO queue;
+//   - hot reload under registry faults never serves a half-loaded
+//     generation — a failed sync keeps the previous one;
+//   - client-side attempt tallies reconcile exactly with the server's
+//     /metrics counters (requests by route/class, sheds by reason,
+//     jobs scored);
+//   - once the fault storm clears, retrying clients recover to 100%
+//     success;
+//   - the same seed reproduces the identical fault schedule
+//     (faults.Injector.Verify plus the Result's pure-schedule trace).
+//
+// Everything random is seeded: the fault schedule through
+// internal/faults, the per-worker operation mix and the client backoff
+// jitter through internal/parallel seed splitting. Timing (goroutine
+// interleaving, which request a fault lands on) stays nondeterministic —
+// the *schedule* of faults is what replays, and the invariants hold under
+// any interleaving.
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tasq/internal/faults"
+	"tasq/internal/jobrepo"
+	"tasq/internal/obs"
+	"tasq/internal/parallel"
+	"tasq/internal/registry"
+	"tasq/internal/scopesim"
+	"tasq/internal/serve"
+	"tasq/internal/trainer"
+	"tasq/internal/workload"
+)
+
+// Config parameterizes one chaos run.
+type Config struct {
+	// Seed fixes the fault schedule, the per-worker op mix and the client
+	// backoff jitter.
+	Seed int64
+	// Dir is the registry root (a fresh temp dir per run).
+	Dir string
+	// Workers and OpsPerWorker size the storm (defaults 8 × 40).
+	Workers      int
+	OpsPerWorker int
+	// Profile is the fault mix injected during the storm.
+	Profile faults.Profile
+	// Admission bounds for the server under test (defaults 4 / 4 / 5ms —
+	// tight enough that the storm itself exercises shedding).
+	MaxInFlight int
+	MaxQueue    int
+	QueueWait   time.Duration
+	// Logf receives progress lines (optional).
+	Logf func(format string, args ...any)
+}
+
+// Result is what a chaos run observed, for assertions beyond the
+// invariants Run already enforces.
+type Result struct {
+	// Attempts counts every HTTP attempt any harness client made
+	// (retries included).
+	Attempts int64
+	// ByStatus histograms those attempts by wire status (0 = transport
+	// error, which the in-process harness treats as an invariant
+	// violation).
+	ByStatus map[int]int64
+	// BatchItemsOK / BatchItemsFailed count per-item outcomes across all
+	// successful batch envelopes.
+	BatchItemsOK     int64
+	BatchItemsFailed int64
+	// CircuitOpen counts operations short-circuited by a worker's breaker
+	// (no wire attempt made).
+	CircuitOpen int64
+	// Recovered counts the post-storm scores that all succeeded.
+	Recovered int
+	// ActiveVersion is the generation serving after the storm settled.
+	ActiveVersion int
+	// FaultTrace is the pure fault schedule per site (prefix of
+	// faultTraceLen decisions as a '0'/'1' string) — equal across
+	// same-seed runs by construction, and cross-checked against the
+	// injector's recorded firings via Verify.
+	FaultTrace map[string]string
+	// FiredBySite snapshots how often each site actually fired.
+	FiredBySite map[string]faults.SiteStats
+}
+
+// faultTraceLen is the schedule prefix recorded in Result.FaultTrace.
+const faultTraceLen = 256
+
+// Defaults for Config zero values.
+const (
+	defaultWorkers      = 8
+	defaultOpsPerWorker = 40
+	defaultMaxInFlight  = 4
+	defaultMaxQueue     = 4
+	defaultQueueWait    = 5 * time.Millisecond
+)
+
+// tally aggregates every HTTP attempt across all harness clients; it is
+// what reconciles against the server's /metrics at the end.
+type tally struct {
+	mu           sync.Mutex
+	attempts     int64
+	byStatus     map[int]int64
+	byRouteClass map[string]int64 // "route|2xx"
+}
+
+func newTally() *tally {
+	return &tally{byStatus: map[int]int64{}, byRouteClass: map[string]int64{}}
+}
+
+// hook is installed as every client's OnAttempt observer.
+func (t *tally) hook(_ string, path string, status int, _ error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.attempts++
+	t.byStatus[status]++
+	cls := "0xx"
+	if status >= 100 && status <= 599 {
+		cls = fmt.Sprintf("%dxx", status/100)
+	}
+	t.byRouteClass[path+"|"+cls]++
+}
+
+func (t *tally) routeClass(route, cls string) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.byRouteClass[route+"|"+cls]
+}
+
+func (t *tally) status(code int) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.byStatus[code]
+}
+
+func (t *tally) snapshotStatuses() map[int]int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[int]int64, len(t.byStatus))
+	for k, v := range t.byStatus {
+		out[k] = v
+	}
+	return out
+}
+
+// firstErr keeps the first invariant violation any goroutine reports.
+type firstErr struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (f *firstErr) set(err error) {
+	if err == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err == nil {
+		f.err = err
+	}
+}
+
+func (f *firstErr) get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// counters tracks storm-wide observations beyond the attempt tally.
+type counters struct {
+	mu          sync.Mutex
+	itemsOK     int64
+	itemsFailed int64
+	circuitOpen int64
+	versions    map[int]bool // generations observed serving 200s
+}
+
+// trainSmall builds one small registry-publishable pipeline (mirrors the
+// serve package's test fixture: 30 jobs, 8-tree XGB, NN/GNN skipped so
+// naming them yields the 409 conflict path).
+func trainSmall(seed int64) (*trainer.Pipeline, []*jobrepo.Record, error) {
+	g := workload.New(workload.TestConfig(seed))
+	repo := jobrepo.New()
+	var ex scopesim.Executor
+	if err := repo.Ingest(g.Workload(30), &ex); err != nil {
+		return nil, nil, err
+	}
+	cfg := trainer.DefaultConfig(seed)
+	cfg.XGB.NumTrees = 8
+	cfg.SkipNN = true
+	cfg.SkipGNN = true
+	p, err := trainer.Train(repo.All(), cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, repo.All(), nil
+}
+
+// checkScore validates a successful scoring response: known model, a
+// served registry generation, a valid curve, predictions consistent with
+// that curve, and — for the usual non-increasing PCC shape from §2 of the
+// paper — run times monotone non-increasing in tokens. (A trained model
+// may legitimately fit a rising curve for an oddball job, so monotonicity
+// is asserted exactly when the curve's own slope is non-positive.)
+func checkScore(resp *serve.ScoreResponse, versions map[int]bool) error {
+	if resp.Model == "" {
+		return errors.New("200 response without a model name")
+	}
+	if !versions[resp.ModelVersion] {
+		return fmt.Errorf("200 response served by unexpected generation v%d", resp.ModelVersion)
+	}
+	curve := resp.CurveValue()
+	if !curve.Valid() {
+		return fmt.Errorf("200 response with invalid curve %+v", resp.Curve)
+	}
+	if len(resp.Predictions) == 0 {
+		return errors.New("200 response without predictions")
+	}
+	for i, pt := range resp.Predictions {
+		want := curve.Runtime(float64(pt.Tokens))
+		if diff := pt.RuntimeSeconds - want; diff > 1e-6*want || diff < -1e-6*want {
+			return fmt.Errorf("prediction %d inconsistent with its curve: %d tokens → %.6fs, curve says %.6fs",
+				i, pt.Tokens, pt.RuntimeSeconds, want)
+		}
+	}
+	if curve.NonIncreasing() {
+		for i := 1; i < len(resp.Predictions); i++ {
+			prev, cur := resp.Predictions[i-1], resp.Predictions[i]
+			if cur.Tokens > prev.Tokens && cur.RuntimeSeconds > prev.RuntimeSeconds*(1+1e-9) {
+				return fmt.Errorf("predictions not monotone: %d tokens → %.6fs but %d tokens → %.6fs",
+					prev.Tokens, prev.RuntimeSeconds, cur.Tokens, cur.RuntimeSeconds)
+			}
+		}
+	}
+	if resp.OptimalTokens < 1 {
+		return fmt.Errorf("200 response with optimal_tokens %d", resp.OptimalTokens)
+	}
+	return nil
+}
+
+// statusOf extracts the wire status of a failed call: (status, true) for
+// a *serve.StatusError, (0, false) otherwise.
+func statusOf(err error) (int, bool) {
+	var se *serve.StatusError
+	if errors.As(err, &se) {
+		return se.Code, true
+	}
+	return 0, false
+}
+
+// allowed reports whether a failure status is in the op's allowed set.
+func allowed(err error, statuses ...int) bool {
+	code, ok := statusOf(err)
+	if !ok {
+		return false
+	}
+	for _, s := range statuses {
+		if code == s {
+			return true
+		}
+	}
+	return false
+}
+
+// parseMetrics reads a Prometheus text exposition into sample-line →
+// value ("name{labels}" keys, label names sorted as obs renders them).
+func parseMetrics(text string) map[string]float64 {
+	out := map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// rateOf maps a site to its configured rate (mirrors the profile's
+// internal mapping; used to recompute the pure schedule for the trace).
+func rateOf(p faults.Profile, site string) float64 {
+	switch site {
+	case faults.SiteScoreLatency:
+		return p.LatencyRate
+	case faults.SiteScoreError:
+		return p.ErrorRate
+	case faults.SiteBatchItem:
+		return p.BatchItemRate
+	case faults.SiteRegistrySlow:
+		return p.RegistrySlowRate
+	case faults.SiteRegistryCorrupt:
+		return p.RegistryCorruptRate
+	}
+	return 0
+}
+
+// Run executes one chaos/soak scenario end to end and returns what it
+// observed. Any invariant violation surfaces as an error.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = defaultWorkers
+	}
+	if cfg.OpsPerWorker <= 0 {
+		cfg.OpsPerWorker = defaultOpsPerWorker
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = defaultMaxInFlight
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = defaultMaxQueue
+	}
+	if cfg.QueueWait <= 0 {
+		cfg.QueueWait = defaultQueueWait
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	// ---- Boot (faults disabled): registry, v1, server, reloader. ----
+	reg, err := registry.Open(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	p1, recs, err := trainSmall(51)
+	if err != nil {
+		return nil, err
+	}
+	p2, _, err := trainSmall(53)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := reg.PublishPipeline(p1, registry.Manifest{}); err != nil {
+		return nil, err
+	}
+
+	inj := faults.New(cfg.Seed, cfg.Profile)
+	inj.SetEnabled(false) // quiet during setup; the storm enables it
+	reg.SetReadHook(inj.RegistryRead)
+	defer reg.SetReadHook(nil)
+
+	srv, err := serve.NewUnloadedServer(
+		serve.WithAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
+		serve.WithAdmissionRetryAfter(time.Second),
+		serve.WithFaultInjector(inj),
+		serve.WithWorkers(4),
+	)
+	if err != nil {
+		return nil, err
+	}
+	rl := serve.NewReloader(reg, srv, 2*time.Millisecond, logf)
+	if err := rl.Sync(); err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	reloadCtx, stopReload := context.WithCancel(context.Background())
+	reloadDone := make(chan struct{})
+	go func() {
+		defer close(reloadDone)
+		rl.Run(reloadCtx)
+	}()
+	defer func() {
+		stopReload()
+		<-reloadDone
+	}()
+
+	tal := newTally()
+	errs := &firstErr{}
+	cnt := &counters{versions: map[int]bool{1: true, 2: true}}
+
+	// ---- Storm: enable faults, drive mixed traffic. ----
+	inj.SetEnabled(true)
+	logf("harness: storm start (seed=%d workers=%d ops=%d)", cfg.Seed, cfg.Workers, cfg.OpsPerWorker)
+
+	// Mid-storm actors: a publisher pushing v2, and an admin goroutine
+	// flapping pin(1)/unpin and running GC — reload churn under faults.
+	adminStop := make(chan struct{})
+	var adminWG sync.WaitGroup
+	adminWG.Add(2)
+	go func() {
+		defer adminWG.Done()
+		time.Sleep(5 * time.Millisecond)
+		if _, err := reg.PublishPipeline(p2, registry.Manifest{}); err != nil {
+			errs.set(fmt.Errorf("publishing v2 mid-storm: %w", err))
+		}
+	}()
+	go func() {
+		defer adminWG.Done()
+		time.Sleep(10 * time.Millisecond)
+		for {
+			select {
+			case <-adminStop:
+				return
+			default:
+			}
+			if err := reg.Pin(1); err != nil {
+				errs.set(fmt.Errorf("pin(1) mid-storm: %w", err))
+			}
+			time.Sleep(3 * time.Millisecond)
+			if err := reg.Unpin(); err != nil && !errors.Is(err, registry.ErrNotPinned) {
+				errs.set(fmt.Errorf("unpin mid-storm: %w", err))
+			}
+			if _, err := reg.GC(2); err != nil {
+				errs.set(fmt.Errorf("gc(2) mid-storm: %w", err))
+			}
+			time.Sleep(3 * time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(parallel.Seed(cfg.Seed, w)))
+			client := serve.NewClient(ts.URL)
+			client.Retry = &serve.RetryPolicy{
+				MaxAttempts: 3,
+				BaseDelay:   time.Millisecond,
+				MaxDelay:    4 * time.Millisecond,
+				Multiplier:  2,
+				Seed:        parallel.Seed(cfg.Seed, 1000+w),
+				// Small budget: the server's 1s Retry-After exceeds it,
+				// so mid-storm sheds surface to the op instead of
+				// stalling the storm — recovery proves retries work.
+				Budget: 30 * time.Millisecond,
+			}
+			client.Breaker = serve.NewBreaker(8, 10*time.Millisecond)
+			client.OnAttempt = tal.hook
+			for op := 0; op < cfg.OpsPerWorker; op++ {
+				runOp(rng, client, recs, cnt, errs)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(adminStop)
+	adminWG.Wait()
+
+	// ---- Storm over: clear faults, converge, saturate, recover. ----
+	inj.SetEnabled(false)
+	if err := reg.Unpin(); err != nil && !errors.Is(err, registry.ErrNotPinned) {
+		return nil, err
+	}
+	if err := rl.Sync(); err != nil {
+		return nil, fmt.Errorf("post-storm sync: %w", err)
+	}
+	if v := srv.ActiveVersion(); v != 2 {
+		return nil, fmt.Errorf("post-storm active version %d, want 2", v)
+	}
+
+	// Saturation burst: more simultaneous batches than slots + queue, from
+	// clients with no retry — the overflow must shed 429 + Retry-After
+	// from the bounded queue, never wedge or queue unboundedly.
+	logf("harness: saturation burst")
+	sheds429Before := tal.status(http.StatusTooManyRequests)
+	for round := 0; round < 10 && tal.status(http.StatusTooManyRequests) == sheds429Before; round++ {
+		burst := cfg.MaxInFlight + cfg.MaxQueue + 8
+		var bwg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < burst; g++ {
+			bwg.Add(1)
+			go func() {
+				defer bwg.Done()
+				client := serve.NewClient(ts.URL)
+				client.OnAttempt = tal.hook
+				req := &serve.BatchScoreRequest{}
+				for i := 0; i < 256; i++ {
+					req.Items = append(req.Items, serve.ScoreRequest{Job: recs[i%len(recs)].Job})
+				}
+				<-start
+				resp, err := client.ScoreBatch(req)
+				switch {
+				case err == nil:
+					recordBatch(resp, cnt, errs, nil)
+				case allowed(err, http.StatusTooManyRequests, http.StatusGatewayTimeout):
+					if code, _ := statusOf(err); code == http.StatusTooManyRequests {
+						var se *serve.StatusError
+						errors.As(err, &se)
+						if se.RetryAfter <= 0 {
+							errs.set(errors.New("429 shed without a Retry-After hint"))
+						}
+					}
+				default:
+					errs.set(fmt.Errorf("saturation batch: unexpected outcome %v", err))
+				}
+			}()
+		}
+		close(start)
+		bwg.Wait()
+	}
+	if tal.status(http.StatusTooManyRequests) == sheds429Before {
+		return nil, errors.New("saturation burst never produced a 429 shed")
+	}
+
+	// Recovery: with faults cleared, a retrying client must reach 100%
+	// success — the stack holds nothing over from the storm.
+	logf("harness: recovery")
+	recovered := 0
+	recClient := serve.NewClient(ts.URL)
+	recClient.Retry = &serve.RetryPolicy{
+		MaxAttempts: 6,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    20 * time.Millisecond,
+		Multiplier:  2,
+		Seed:        parallel.Seed(cfg.Seed, 999),
+		Budget:      5 * time.Second,
+	}
+	recClient.OnAttempt = tal.hook
+	for i := 0; i < 12; i++ {
+		resp, err := recClient.Score(&serve.ScoreRequest{Job: recs[i%len(recs)].Job})
+		if err != nil {
+			return nil, fmt.Errorf("recovery score %d failed after faults cleared: %w", i, err)
+		}
+		if err := checkScore(resp, cnt.versions); err != nil {
+			return nil, fmt.Errorf("recovery score %d: %w", i, err)
+		}
+		recovered++
+	}
+
+	// ---- Reconcile client-side tallies against /metrics. ----
+	final := serve.NewClient(ts.URL) // no OnAttempt: the tally is frozen
+	text, err := final.Metrics()
+	if err != nil {
+		return nil, err
+	}
+	m := parseMetrics(text)
+	for _, route := range []string{"/v1/score", "/v1/score/batch"} {
+		for _, cls := range []string{"2xx", "4xx", "5xx"} {
+			want := float64(tal.routeClass(route, cls))
+			key := fmt.Sprintf("tasq_http_requests_total{code=%q,route=%q}", cls, route)
+			if got := m[key]; got != want {
+				return nil, fmt.Errorf("reconcile %s: server %v, clients %v", key, got, want)
+			}
+		}
+	}
+	shedWant := map[string]float64{
+		"queue_full":  float64(tal.status(http.StatusTooManyRequests)),
+		"deadline":    float64(tal.status(http.StatusGatewayTimeout)),
+		"draining":    0,
+		"client_gone": 0,
+	}
+	for reason, want := range shedWant {
+		key := fmt.Sprintf("%s{reason=%q}", obs.MetricShedTotal, reason)
+		if got := m[key]; got != want {
+			return nil, fmt.Errorf("reconcile %s: server %v, clients %v", key, got, want)
+		}
+	}
+	cnt.mu.Lock()
+	itemsOK, itemsFailed := cnt.itemsOK, cnt.itemsFailed
+	circuitOpen := cnt.circuitOpen
+	cnt.mu.Unlock()
+	wantOK := float64(tal.routeClass("/v1/score", "2xx")) + float64(itemsOK)
+	if got := m[`tasq_score_jobs_total{outcome="ok"}`]; got != wantOK {
+		return nil, fmt.Errorf("reconcile scored-ok: server %v, clients %v (singles %d + items %d)",
+			got, wantOK, tal.routeClass("/v1/score", "2xx"), itemsOK)
+	}
+	for _, gauge := range []string{obs.MetricQueueDepth, obs.MetricAdmissionInFlight} {
+		if got := m[gauge]; got != 0 {
+			return nil, fmt.Errorf("gauge %s = %v after quiesce, want 0", gauge, got)
+		}
+	}
+
+	// ---- Drain: new work is refused, probes stay truthful. ----
+	srv.BeginDrain()
+	drainClient := serve.NewClient(ts.URL)
+	if _, err := drainClient.Score(&serve.ScoreRequest{Job: recs[0].Job}); !allowed(err, http.StatusServiceUnavailable) {
+		return nil, fmt.Errorf("score while draining: %v, want 503", err)
+	}
+	if err := drainClient.Ready(); !allowed(err, http.StatusServiceUnavailable) {
+		return nil, fmt.Errorf("readyz while draining: %v, want 503", err)
+	}
+	if err := drainClient.Health(); err != nil {
+		return nil, fmt.Errorf("healthz while draining: %v", err)
+	}
+
+	// ---- Determinism: recorded firings must match the pure schedule. ----
+	if err := inj.Verify(); err != nil {
+		return nil, err
+	}
+	if err := errs.get(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		ByStatus:         tal.snapshotStatuses(),
+		BatchItemsOK:     itemsOK,
+		BatchItemsFailed: itemsFailed,
+		CircuitOpen:      circuitOpen,
+		Recovered:        recovered,
+		ActiveVersion:    srv.ActiveVersion(),
+		FaultTrace:       map[string]string{},
+		FiredBySite:      inj.Stats(),
+	}
+	tal.mu.Lock()
+	res.Attempts = tal.attempts
+	tal.mu.Unlock()
+	for _, site := range faults.Sites() {
+		var b strings.Builder
+		for _, fire := range faults.Schedule(cfg.Seed, site, rateOf(cfg.Profile, site), faultTraceLen) {
+			if fire {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		res.FaultTrace[site] = b.String()
+	}
+	logf("harness: done — %d attempts, %d batch items ok, %d recovered", res.Attempts, res.BatchItemsOK, res.Recovered)
+	return res, nil
+}
+
+// runOp executes one randomly chosen operation and asserts its outcome is
+// in the allowed set. Gate sheds (429/504) and injected 500s are allowed
+// on every scoring op; everything else is op-specific.
+func runOp(rng *rand.Rand, client *serve.Client, recs []*jobrepo.Record, cnt *counters, errs *firstErr) {
+	job := func() *scopesim.Job { return recs[rng.Intn(len(recs))].Job }
+	opRoll := rng.Intn(100)
+	switch {
+	case opRoll < 40: // single score, varied routing
+		req := &serve.ScoreRequest{Job: job()}
+		wantOK := true   // a 200 is acceptable
+		conflict := true // a 409 is acceptable (untrained/uncovered)
+		bad := false     // a 400 is acceptable (client error)
+		switch roll := rng.Intn(10); {
+		case roll < 5:
+			conflict = false // policy routing always finds a model
+		case roll == 5:
+			req.Model = "xgboost-pl"
+			conflict = false
+		case roll == 6:
+			req.Model = "jockey"
+			conflict = false
+		case roll == 7:
+			req.Model = "amdahl"
+			conflict = false
+		case roll == 8:
+			req.Model = "nn" // skipped in training → 409 conflict
+			wantOK, bad = false, false
+		default:
+			if rng.Intn(2) == 0 {
+				req.Model = "resnet50" // unknown model → 400
+			} else {
+				req.Job = nil // invalid request → 400
+			}
+			wantOK, conflict, bad = false, false, true
+		}
+		resp, err := client.Score(req)
+		checkSingle(resp, err, wantOK, conflict, bad, cnt, errs)
+	case opRoll < 60: // batch, mixed item validity
+		req := &serve.BatchScoreRequest{}
+		n := 2 + rng.Intn(3)
+		expect := make([]string, n)
+		for i := 0; i < n; i++ {
+			item := serve.ScoreRequest{Job: job()}
+			expect[i] = "ok"
+			switch roll := rng.Intn(10); {
+			case roll == 8:
+				item.Job = nil // → item 400
+				expect[i] = "bad"
+			case roll == 9:
+				item.Model = "gnn" // skipped in training → item 409
+				expect[i] = "conflict"
+			}
+			req.Items = append(req.Items, item)
+		}
+		resp, err := client.ScoreBatch(req)
+		switch {
+		case err == nil:
+			recordBatch(resp, cnt, errs, expect)
+		case errors.Is(err, serve.ErrCircuitOpen):
+			cnt.mu.Lock()
+			cnt.circuitOpen++
+			cnt.mu.Unlock()
+		case allowed(err, http.StatusTooManyRequests, http.StatusGatewayTimeout):
+			// whole batch shed before execution — the retry-safe refusals
+		default:
+			errs.set(fmt.Errorf("batch op: unexpected outcome %v", err))
+		}
+	case opRoll < 70: // reads
+		if rng.Intn(2) == 0 {
+			if _, err := client.Metrics(); err != nil && !errors.Is(err, serve.ErrCircuitOpen) {
+				errs.set(fmt.Errorf("metrics op: %v", err))
+			}
+		} else {
+			resp, err := client.Models()
+			switch {
+			case err == nil:
+				if resp.ModelVersion != 1 && resp.ModelVersion != 2 {
+					errs.set(fmt.Errorf("models op: generation v%d, want 1 or 2", resp.ModelVersion))
+				}
+			case errors.Is(err, serve.ErrCircuitOpen):
+				cnt.mu.Lock()
+				cnt.circuitOpen++
+				cnt.mu.Unlock()
+			default:
+				errs.set(fmt.Errorf("models op: %v", err))
+			}
+		}
+	case opRoll < 78: // probes never shed and never break
+		if err := client.Ready(); err != nil {
+			errs.set(fmt.Errorf("readyz op: %v", err))
+		}
+	case opRoll < 88: // admin reload: ok, or a 500 from an injected
+		// registry fault (the previous generation keeps serving either way)
+		_, err := client.Reload()
+		switch {
+		case err == nil, errors.Is(err, serve.ErrCircuitOpen):
+			if errors.Is(err, serve.ErrCircuitOpen) {
+				cnt.mu.Lock()
+				cnt.circuitOpen++
+				cnt.mu.Unlock()
+			}
+		case allowed(err, http.StatusInternalServerError):
+		default:
+			errs.set(fmt.Errorf("reload op: unexpected outcome %v", err))
+		}
+	default: // single score with explicit what-if parameters
+		req := &serve.ScoreRequest{
+			Job:             job(),
+			Threshold:       0.005 + rng.Float64()*0.05,
+			CandidateTokens: []int{1 + rng.Intn(3), 8 + rng.Intn(8), 32 + rng.Intn(32), 128},
+		}
+		resp, err := client.Score(req)
+		checkSingle(resp, err, true, false, false, cnt, errs)
+	}
+}
+
+// checkSingle asserts a single-score outcome against its allowed set.
+func checkSingle(resp *serve.ScoreResponse, err error, wantOK, conflict, bad bool, cnt *counters, errs *firstErr) {
+	switch {
+	case err == nil:
+		if !wantOK {
+			errs.set(errors.New("score op: unexpected 200 for a request that cannot succeed"))
+			return
+		}
+		cnt.mu.Lock()
+		versions := cnt.versions
+		cnt.mu.Unlock()
+		if err := checkScore(resp, versions); err != nil {
+			errs.set(fmt.Errorf("score op: %w", err))
+		}
+	case errors.Is(err, serve.ErrCircuitOpen):
+		cnt.mu.Lock()
+		cnt.circuitOpen++
+		cnt.mu.Unlock()
+	default:
+		// Injected 500s and gate sheds are always possible; 400/409 only
+		// when the request earned them.
+		codes := []int{http.StatusInternalServerError, http.StatusTooManyRequests, http.StatusGatewayTimeout}
+		if conflict {
+			codes = append(codes, http.StatusConflict)
+		}
+		if bad {
+			codes = append(codes, http.StatusBadRequest)
+		}
+		if !allowed(err, codes...) {
+			errs.set(fmt.Errorf("score op: unexpected outcome %v (allowed %v)", err, codes))
+		}
+	}
+}
+
+// recordBatch validates a successful batch envelope: every item carries a
+// status from the per-item contract, expected-invalid items fail with
+// their expected class (or an injected 500, which outranks validation),
+// and item successes are sane scores. expect may be nil when all items
+// are valid.
+func recordBatch(resp *serve.BatchScoreResponse, cnt *counters, errs *firstErr, expect []string) {
+	cnt.mu.Lock()
+	versions := cnt.versions
+	cnt.mu.Unlock()
+	var ok, failed int64
+	for i, item := range resp.Results {
+		exp := "ok"
+		if expect != nil && i < len(expect) {
+			exp = expect[i]
+		}
+		switch item.Status {
+		case http.StatusOK:
+			if exp != "ok" {
+				errs.set(fmt.Errorf("batch item %d: unexpected 200 for a %s item", i, exp))
+				continue
+			}
+			if item.Response == nil {
+				errs.set(fmt.Errorf("batch item %d: 200 without a response", i))
+				continue
+			}
+			if err := checkScore(item.Response, versions); err != nil {
+				errs.set(fmt.Errorf("batch item %d: %w", i, err))
+			}
+			ok++
+		case http.StatusInternalServerError: // injected — allowed for any item
+			failed++
+		case http.StatusBadRequest:
+			if exp != "bad" {
+				errs.set(fmt.Errorf("batch item %d: unexpected 400 for a valid item: %s", i, item.Error))
+			}
+			failed++
+		case http.StatusConflict:
+			if exp != "conflict" {
+				errs.set(fmt.Errorf("batch item %d: unexpected 409 for item: %s", i, item.Error))
+			}
+			failed++
+		default:
+			errs.set(fmt.Errorf("batch item %d: status %d outside the item contract", i, item.Status))
+			failed++
+		}
+	}
+	if resp.Succeeded != int(ok) || resp.Failed != int(failed) {
+		errs.set(fmt.Errorf("batch envelope counts %d/%d disagree with items %d/%d",
+			resp.Succeeded, resp.Failed, ok, failed))
+	}
+	cnt.mu.Lock()
+	cnt.itemsOK += ok
+	cnt.itemsFailed += failed
+	cnt.mu.Unlock()
+}

@@ -94,6 +94,15 @@ const (
 	MetricDurationSeconds = "tasq_http_request_duration_seconds"
 )
 
+// Metric names of the serving resilience layer: overload shedding by the
+// admission gate and hot-reload failures kept out of the serving path.
+const (
+	MetricShedTotal         = "tasq_shed_total"
+	MetricQueueDepth        = "tasq_admission_queue_depth"
+	MetricAdmissionInFlight = "tasq_admission_in_flight"
+	MetricReloadFailures    = "tasq_reload_failure_total"
+)
+
 // statusClass buckets a status code into "1xx"…"5xx".
 func statusClass(code int) string {
 	if code < 100 || code > 599 {

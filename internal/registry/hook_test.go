@@ -1,0 +1,54 @@
+package registry
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestReadHook drives the fault-injection seam in Get: corrupted bytes
+// are caught by the checksum verification, hook errors surface as
+// ErrManifest, and removing the hook restores clean loads.
+func TestReadHook(t *testing.T) {
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("pipeline payload bytes")
+	if _, err := reg.Publish(payload, Manifest{Format: "test/v1"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// No hook: clean load.
+	got, _, err := reg.Get(1)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("clean Get: %v %q", err, got)
+	}
+
+	// Corrupting hook: the SHA-256 check catches it like disk damage.
+	reg.SetReadHook(func(version int, p []byte) ([]byte, error) {
+		if version != 1 {
+			t.Errorf("hook saw version %d, want 1", version)
+		}
+		out := append([]byte(nil), p...)
+		out[0] ^= 0xFF
+		return out, nil
+	})
+	if _, _, err := reg.Get(1); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupted Get: %v, want ErrChecksum", err)
+	}
+
+	// Erroring hook: a failed read maps to ErrManifest like any other
+	// unreadable payload.
+	hookErr := errors.New("injected read failure")
+	reg.SetReadHook(func(int, []byte) ([]byte, error) { return nil, hookErr })
+	if _, _, err := reg.Get(1); !errors.Is(err, ErrManifest) {
+		t.Fatalf("erroring Get: %v, want ErrManifest", err)
+	}
+
+	// Removing the hook restores service.
+	reg.SetReadHook(nil)
+	if got, _, err := reg.Get(1); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("Get after hook removal: %v %q", err, got)
+	}
+}

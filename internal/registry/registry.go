@@ -28,6 +28,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -95,12 +96,31 @@ type Manifest struct {
 	Notes       string             `json:"notes,omitempty"`
 }
 
+// ReadHook intercepts payload bytes between the filesystem read and the
+// checksum verification in Get. It exists for fault injection in chaos
+// tests — simulating slow or corrupted artifact reads — and must return
+// either the (possibly transformed) payload or an error. Corrupted bytes
+// are caught downstream by the SHA-256 check exactly as real disk
+// corruption would be.
+type ReadHook func(version int, payload []byte) ([]byte, error)
+
 // Registry is a filesystem-backed versioned model store. Safe for
 // concurrent use within a process; cross-process publishers are
 // serialized by the atomicity of rename.
 type Registry struct {
-	root string
-	mu   sync.Mutex // serializes in-process publish/pin/gc
+	root     string
+	mu       sync.Mutex // serializes in-process publish/pin/gc
+	readHook atomic.Pointer[ReadHook]
+}
+
+// SetReadHook installs (or, with nil, removes) the payload read hook.
+// Test-only: production reads go straight from disk to verification.
+func (r *Registry) SetReadHook(h ReadHook) {
+	if h == nil {
+		r.readHook.Store(nil)
+		return
+	}
+	r.readHook.Store(&h)
 }
 
 // Open opens (creating if needed) a registry rooted at dir.
@@ -218,6 +238,11 @@ func (r *Registry) Get(version int) ([]byte, Manifest, error) {
 	payload, err := os.ReadFile(filepath.Join(r.root, versionDir(version), payloadFile))
 	if err != nil {
 		return nil, Manifest{}, fmt.Errorf("%w: v%d: payload: %v", ErrManifest, version, err)
+	}
+	if hp := r.readHook.Load(); hp != nil {
+		if payload, err = (*hp)(version, payload); err != nil {
+			return nil, Manifest{}, fmt.Errorf("%w: v%d: payload: %v", ErrManifest, version, err)
+		}
 	}
 	sum := sha256.Sum256(payload)
 	if got := hex.EncodeToString(sum[:]); got != m.SHA256 {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"sync"
 )
@@ -75,7 +76,7 @@ func (s *Server) scoreBatch(req *BatchScoreRequest) *BatchScoreResponse {
 			defer wg.Done()
 			for i := range next {
 				res := BatchItemResult{Index: i}
-				resp, err := s.score(&req.Items[i])
+				resp, err := s.scoreItem(&req.Items[i])
 				if err != nil {
 					res.Status = httpStatus(err)
 					res.Error = err.Error()
@@ -103,6 +104,17 @@ func (s *Server) scoreBatch(req *BatchScoreRequest) *BatchScoreResponse {
 	return out
 }
 
+// scoreItem runs one batch item: a per-item injected fault fails this
+// item alone (its siblings keep scoring), otherwise the shared scoring
+// path runs.
+func (s *Server) scoreItem(req *ScoreRequest) (*ScoreResponse, error) {
+	if err := s.inj.BatchItemError(); err != nil {
+		s.scoreFailed.Inc()
+		return nil, fmt.Errorf("serve: scoring: %w", err)
+	}
+	return s.score(req)
+}
+
 // ScoreBatch submits several jobs in one request. The returned response
 // carries per-item results; an item-level failure is reported in its
 // BatchItemResult, not as a Go error.
@@ -114,7 +126,10 @@ func (c *Client) ScoreBatch(req *BatchScoreRequest) (*BatchScoreResponse, error)
 // cancellation.
 func (c *Client) ScoreBatchCtx(ctx context.Context, req *BatchScoreRequest) (*BatchScoreResponse, error) {
 	var out BatchScoreResponse
-	if err := c.postJSON(ctx, "/v1/score/batch", req, &out); err != nil {
+	// A batch is retried only when the service provably refused it whole
+	// (admission shed); a transport error or 500 may hide a partially
+	// executed batch, which must not be blindly resubmitted.
+	if err := c.postJSON(ctx, "/v1/score/batch", retryAtomic, req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"tasq/internal/obs"
 	"tasq/internal/registry"
 	"tasq/internal/trainer"
 )
@@ -24,6 +25,7 @@ type Reloader struct {
 	interval time.Duration
 	logf     func(format string, args ...any)
 	onLoad   func(*trainer.Pipeline)
+	failures *obs.Counter
 	mu       sync.Mutex
 }
 
@@ -41,6 +43,8 @@ func NewReloader(reg *registry.Registry, srv *Server, interval time.Duration, lo
 		logf = func(string, ...any) {}
 	}
 	r := &Reloader{reg: reg, srv: srv, interval: interval, logf: logf}
+	srv.reg.SetHelp(obs.MetricReloadFailures, "Registry sync passes that failed (corrupt artifact, unreadable manifest, …); the previous generation keeps serving.")
+	r.failures = srv.reg.Counter(obs.MetricReloadFailures)
 	srv.setReloadFunc(r.Sync)
 	return r
 }
@@ -56,8 +60,19 @@ func (r *Reloader) OnLoad(fn func(*trainer.Pipeline)) {
 }
 
 // Sync performs one reconciliation pass. It is safe to call concurrently
-// with itself and with live traffic.
+// with itself and with live traffic. A failing pass — corrupt artifact,
+// damaged manifest, torn registry — increments tasq_reload_failure_total
+// and leaves the serving generation untouched: a bad publish can page an
+// operator, never break scoring.
 func (r *Reloader) Sync() error {
+	if err := r.sync(); err != nil {
+		r.failures.Inc()
+		return err
+	}
+	return nil
+}
+
+func (r *Reloader) sync() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 
@@ -173,7 +188,9 @@ func (c *Client) Reload() (*ReloadResponse, error) {
 // ReloadCtx is Reload honoring the caller's deadline and cancellation.
 func (c *Client) ReloadCtx(ctx context.Context) (*ReloadResponse, error) {
 	var out ReloadResponse
-	if err := c.postJSON(ctx, "/v1/admin/reload", struct{}{}, &out); err != nil {
+	// A registry sync is idempotent: re-running it converges on the same
+	// generation.
+	if err := c.postJSON(ctx, "/v1/admin/reload", retryIdempotent, struct{}{}, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -31,9 +31,11 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
+	"tasq/internal/faults"
 	"tasq/internal/model"
 	"tasq/internal/obs"
 	"tasq/internal/pcc"
@@ -159,15 +161,51 @@ func httpStatus(err error) int {
 }
 
 // StatusError is returned by Client methods when the service answers with
-// a non-200 status, preserving the code so callers can distinguish their
-// own bad requests (400) from server-side failures (500).
+// a non-200 status, preserving the code so callers — and the client's own
+// retry loop — can distinguish their bad requests (400, 409) from
+// overload and server-side failures (429, 5xx).
 type StatusError struct {
 	Code    int
 	Message string
+	// RetryAfter is the service's Retry-After hint, when one was sent
+	// (overload sheds carry it); 0 means none.
+	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
 	return fmt.Sprintf("serve: status %d: %s", e.Code, e.Message)
+}
+
+// Temporary reports whether the status signals a transient condition a
+// retry may outlive: overload shedding (429), a bad gateway (502), a
+// draining or unloaded service (503), or a queue-deadline timeout (504).
+func (e *StatusError) Temporary() bool {
+	switch e.Code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// parseRetryAfter reads a Retry-After header: delta-seconds or an
+// HTTP-date. 0 when absent or unparseable.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if when, err := http.ParseTime(h); err == nil {
+		if d := time.Until(when); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // activeModel is one loaded model generation: an immutable scorer plus
@@ -204,6 +242,15 @@ type Server struct {
 	workers  int
 	maxBatch int
 	ready    atomic.Bool
+
+	// gate sheds scoring work beyond the configured concurrency + queue
+	// bounds; inj, when set, injects deterministic faults (test/dev only).
+	gate        *gate
+	inj         *faults.Injector
+	maxInFlight int
+	maxQueue    int
+	queueWait   time.Duration
+	retryAfter  time.Duration
 
 	// shadowEvery samples every Nth scoring request into the shadow
 	// model; 0 disables shadow scoring.
@@ -262,6 +309,44 @@ func WithMaxBatch(n int) Option {
 // DefaultMaxBatch is the default per-request batch item cap.
 const DefaultMaxBatch = 1024
 
+// WithAdmission bounds the scoring endpoints: at most limit requests
+// execute concurrently, at most queue wait behind them (FIFO), and no
+// request waits longer than wait before being shed with 504. Arrivals
+// beyond the queue bound are shed immediately with 429 + Retry-After.
+// Zero/negative arguments keep the defaults (DefaultMaxInFlight,
+// DefaultMaxQueue, DefaultQueueWait).
+func WithAdmission(limit, queue int, wait time.Duration) Option {
+	return func(s *Server) {
+		if limit > 0 {
+			s.maxInFlight = limit
+		}
+		if queue >= 0 {
+			s.maxQueue = queue
+		}
+		if wait > 0 {
+			s.queueWait = wait
+		}
+	}
+}
+
+// WithAdmissionRetryAfter sets the Retry-After hint on shed responses
+// (default DefaultRetryAfter; the header rounds up to whole seconds).
+func WithAdmissionRetryAfter(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.retryAfter = d
+		}
+	}
+}
+
+// WithFaultInjector threads a deterministic fault injector into the
+// scoring path: injected latency, synthetic scoring errors and per-item
+// batch failures. For chaos tests and the tasqd -fault-profile dev flag —
+// never production.
+func WithFaultInjector(in *faults.Injector) Option {
+	return func(s *Server) { s.inj = in }
+}
+
 // WithShadowSampleRate sets the fraction of scoring requests that are
 // also scored by the shadow (candidate) model when one is loaded: 1
 // shadows every request, 0.1 every tenth, 0 disables shadow scoring.
@@ -305,10 +390,15 @@ func newServer(p scorer, opts ...Option) (*Server, error) {
 		workers:     runtime.NumCPU(),
 		maxBatch:    DefaultMaxBatch,
 		shadowEvery: 1,
+		maxInFlight: DefaultMaxInFlight,
+		maxQueue:    DefaultMaxQueue,
+		queueWait:   DefaultQueueWait,
+		retryAfter:  DefaultRetryAfter,
 	}
 	for _, opt := range opts {
 		opt(s)
 	}
+	s.gate = newGate(s.maxInFlight, s.maxQueue, s.queueWait, s.retryAfter, s.reg)
 
 	s.reg.SetHelp("tasq_score_jobs_total", "Jobs scored, by outcome (ok, rejected, failed).")
 	s.scoreOK = s.reg.Counter("tasq_score_jobs_total", "outcome", "ok")
@@ -325,8 +415,10 @@ func newServer(p scorer, opts ...Option) (*Server, error) {
 
 	s.route("/healthz", http.HandlerFunc(s.handleHealth))
 	s.route("/readyz", http.HandlerFunc(s.handleReady))
-	s.route("/v1/score", http.HandlerFunc(s.handleScore))
-	s.route("/v1/score/batch", http.HandlerFunc(s.handleScoreBatch))
+	// Only the scoring endpoints sit behind the admission gate: probes,
+	// metrics and admin must keep answering while the service sheds load.
+	s.route("/v1/score", s.gated(http.HandlerFunc(s.handleScore)))
+	s.route("/v1/score/batch", s.gated(http.HandlerFunc(s.handleScoreBatch)))
 	s.route("/v1/models", http.HandlerFunc(s.handleModels))
 	s.route("/v1/admin/reload", http.HandlerFunc(s.handleAdminReload))
 	s.mux.Handle("/metrics", s.reg.Handler())
@@ -469,12 +561,26 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	resp, err := s.score(&req)
+	resp, err := s.scoreSingle(&req)
 	if err != nil {
 		http.Error(w, err.Error(), httpStatus(err))
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// scoreSingle runs the single-score endpoint's request: the injector's
+// score-site faults apply here (batch items draw from their own site so
+// the schedules stay independent), then the shared scoring path runs.
+func (s *Server) scoreSingle(req *ScoreRequest) (*ScoreResponse, error) {
+	if d := s.inj.Latency(); d > 0 {
+		time.Sleep(d)
+	}
+	if err := s.inj.ScoreError(); err != nil {
+		s.scoreFailed.Inc()
+		return nil, fmt.Errorf("serve: scoring: %w", err)
+	}
+	return s.score(req)
 }
 
 // ModelsResponse lists the predictors the loaded pipeline can serve.
@@ -648,17 +754,38 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
+
+	// Retry, when set, retries transient failures (429/5xx, transport
+	// errors on idempotent calls) with capped, deterministically jittered
+	// backoff honoring the service's Retry-After hints. Nil (the default)
+	// keeps the historical single-attempt behaviour. Batch scoring is
+	// retried only when the whole request was shed before execution —
+	// partial batches are never blindly resubmitted.
+	Retry *RetryPolicy
+	// Breaker, when set, short-circuits attempts with ErrCircuitOpen
+	// while the service is failing outright (consecutive transport
+	// errors / 5xx), probing again after its cooldown.
+	Breaker *Breaker
+	// OnAttempt, when set, observes every HTTP attempt this client makes
+	// (retries included): the wire status (0 = transport error, response
+	// never arrived) and the attempt's error, if any. Chaos tests use it
+	// to reconcile client-side attempts against server-side counters.
+	OnAttempt func(method, path string, status int, err error)
+
+	// sleep overrides the inter-attempt pause in tests.
+	sleep func(time.Duration)
 }
 
-// NewClient builds a client with a sane default timeout.
+// NewClient builds a client with a sane default timeout and no retry
+// (set Retry/Breaker to opt into resilience).
 func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: baseURL, HTTP: &http.Client{Timeout: 30 * time.Second}}
 }
 
-// do issues one request with the caller's context, returning the bounded
-// body and converting non-200 statuses into *StatusError. Every Client
-// method — context-aware or not — funnels through here.
-func (c *Client) do(ctx context.Context, method, path string, payload []byte) ([]byte, error) {
+// doOnce issues one request with the caller's context, returning the
+// bounded body and converting non-200 statuses into *StatusError. The
+// retry loop in do wraps this; nothing else calls it.
+func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte) ([]byte, error) {
 	var rd io.Reader
 	if payload != nil {
 		rd = bytes.NewReader(payload)
@@ -680,19 +807,23 @@ func (c *Client) do(ctx context.Context, method, path string, payload []byte) ([
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, &StatusError{Code: resp.StatusCode, Message: string(bytes.TrimSpace(body))}
+		return nil, &StatusError{
+			Code:       resp.StatusCode,
+			Message:    string(bytes.TrimSpace(body)),
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	}
 	return body, nil
 }
 
 // postJSON marshals req, posts it to path and decodes the response into
 // out.
-func (c *Client) postJSON(ctx context.Context, path string, req, out any) error {
+func (c *Client) postJSON(ctx context.Context, path string, kind retryKind, req, out any) error {
 	payload, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
-	body, err := c.do(ctx, http.MethodPost, path, payload)
+	body, err := c.do(ctx, http.MethodPost, path, payload, kind)
 	if err != nil {
 		return err
 	}
@@ -707,7 +838,7 @@ func (c *Client) Health() error { return c.HealthCtx(context.Background()) }
 
 // HealthCtx is Health honoring the caller's deadline and cancellation.
 func (c *Client) HealthCtx(ctx context.Context) error {
-	if _, err := c.do(ctx, http.MethodGet, "/healthz", nil); err != nil {
+	if _, err := c.do(ctx, http.MethodGet, "/healthz", nil, retryNone); err != nil {
 		var se *StatusError
 		if errors.As(err, &se) {
 			return fmt.Errorf("serve: health status %d", se.Code)
@@ -723,7 +854,7 @@ func (c *Client) Ready() error { return c.ReadyCtx(context.Background()) }
 
 // ReadyCtx is Ready honoring the caller's deadline and cancellation.
 func (c *Client) ReadyCtx(ctx context.Context) error {
-	_, err := c.do(ctx, http.MethodGet, "/readyz", nil)
+	_, err := c.do(ctx, http.MethodGet, "/readyz", nil, retryNone)
 	return err
 }
 
@@ -732,7 +863,7 @@ func (c *Client) Metrics() (string, error) { return c.MetricsCtx(context.Backgro
 
 // MetricsCtx is Metrics honoring the caller's deadline and cancellation.
 func (c *Client) MetricsCtx(ctx context.Context) (string, error) {
-	body, err := c.do(ctx, http.MethodGet, "/metrics", nil)
+	body, err := c.do(ctx, http.MethodGet, "/metrics", nil, retryIdempotent)
 	if err != nil {
 		return "", err
 	}
@@ -747,7 +878,9 @@ func (c *Client) Score(req *ScoreRequest) (*ScoreResponse, error) {
 // ScoreCtx is Score honoring the caller's deadline and cancellation.
 func (c *Client) ScoreCtx(ctx context.Context, req *ScoreRequest) (*ScoreResponse, error) {
 	var out ScoreResponse
-	if err := c.postJSON(ctx, "/v1/score", req, &out); err != nil {
+	// Scoring is a pure function of the request — idempotent, so
+	// transient failures (including transport errors) are retried.
+	if err := c.postJSON(ctx, "/v1/score", retryIdempotent, req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -760,7 +893,7 @@ func (c *Client) Models() (*ModelsResponse, error) {
 
 // ModelsCtx is Models honoring the caller's deadline and cancellation.
 func (c *Client) ModelsCtx(ctx context.Context) (*ModelsResponse, error) {
-	body, err := c.do(ctx, http.MethodGet, "/v1/models", nil)
+	body, err := c.do(ctx, http.MethodGet, "/v1/models", nil, retryIdempotent)
 	if err != nil {
 		return nil, err
 	}

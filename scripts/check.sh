@@ -19,7 +19,9 @@ go build ./...
 echo "== go test (shuffled)"
 go test -shuffle=on ./...
 echo "== go test -race (serving + registry path)"
-go test -race -shuffle=on ./internal/serve/... ./internal/obs/... ./internal/registry/... ./internal/model/... ./cmd/tasqd/...
+go test -race -shuffle=on ./internal/serve/... ./internal/obs/... ./internal/registry/... ./internal/model/... ./internal/faults/... ./cmd/tasqd/...
 echo "== go test -race (parallel offline pipeline)"
 go test -race -shuffle=on ./internal/parallel/... ./internal/flight/... ./internal/trainer/... ./internal/experiments/...
+echo "== chaos harness (seeded fault injection, race detector)"
+go test -race -short -run 'TestChaos' -count=1 ./internal/harness/...
 echo "check: ok"
