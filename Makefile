@@ -6,11 +6,11 @@
 #   make check     full gate: fmt + vet + build + tests + race (run before merging)
 #   make coverage  coverage profile with the fail-below-baseline floor
 #   make chaos     deterministic chaos/soak harness under the race detector
-#   make bench     per-stage pipeline benchmarks -> BENCH_pipeline.json
+#   make bench     benchmarks -> BENCH_pipeline.json + BENCH_serving.json
 
 GO ?= go
 
-.PHONY: build test race vet fmt check coverage chaos bench
+.PHONY: build test race vet fmt check coverage chaos bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -41,9 +41,15 @@ coverage:
 bench:
 	scripts/bench.sh
 
+# One iteration of every serving benchmark: catches bit-rot in the bench
+# harness itself without paying for real measurement (the pipeline benches
+# train full models and stay out of the per-merge gate).
+bench-smoke:
+	$(GO) test -run='^$$' -bench='^Benchmark(Score|Batch)' -benchtime=1x -count=1 ./internal/serve/
+
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt: needs formatting:"; echo "$$out"; exit 1; fi
 
-check: fmt vet test race chaos
+check: fmt vet test race chaos bench-smoke
 	@echo "check: ok"

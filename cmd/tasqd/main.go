@@ -98,6 +98,7 @@ func run(ctx context.Context, args []string) error {
 	workers := fs.Int("workers", 0, "batch-scoring worker pool size (0 = NumCPU)")
 	maxInFlight := fs.Int("max-inflight", 0, "max concurrently executing scoring requests (0 = default)")
 	maxQueue := fs.Int("max-queue", -1, "max scoring requests queued behind the in-flight limit before shedding 429 (-1 = default)")
+	curveCache := fs.Int("curve-cache", serve.DefaultCurveCacheCap, "memoized-curve cache capacity per model generation (<= 0 disables)")
 	queueWait := fs.Duration("queue-wait", 0, "max time a scoring request may wait in the admission queue before shedding 504 (0 = default)")
 	faultProfile := fs.String("fault-profile", "", "DEV ONLY: inject deterministic faults, e.g. 'seed=42,latency=0.2:5ms,error=0.1,batch-item=0.05,registry-slow=0.1:10ms,registry-corrupt=0.02'")
 	policyFlag := fs.String("policy", "", "comma-separated predictor fallback chain for requests that name no model (e.g. 'GNN,NN'; empty = built-in NN,GNN,XGBoost-PL order)")
@@ -114,6 +115,7 @@ func run(ctx context.Context, args []string) error {
 		opts = append(opts, serve.WithWorkers(*workers))
 	}
 	opts = append(opts, serve.WithAdmission(*maxInFlight, *maxQueue, *queueWait))
+	opts = append(opts, serve.WithCurveCache(*curveCache))
 
 	var inj *faults.Injector
 	if *faultProfile != "" {

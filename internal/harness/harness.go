@@ -46,6 +46,7 @@ import (
 	"tasq/internal/jobrepo"
 	"tasq/internal/obs"
 	"tasq/internal/parallel"
+	"tasq/internal/pcc"
 	"tasq/internal/registry"
 	"tasq/internal/scopesim"
 	"tasq/internal/serve"
@@ -196,6 +197,45 @@ type counters struct {
 	versions    map[int]bool // generations observed serving 200s
 }
 
+// curveOracle maps generation → served model name → job ID → the exact
+// curve that generation's own predictor computes for the job. During the
+// storm the admin goroutine flaps the registry pin while workers score,
+// so 200s arrive labeled v1 and v2 interleaved; every one must carry its
+// labeled generation's curve bit-for-bit. A memoized curve surviving a
+// hot reload — a v2-labeled response carrying v1's curve — fails the
+// equality here, because the two generations train from different seeds.
+type curveOracle map[int]map[string]map[string]pcc.Curve
+
+// buildOracle precomputes the oracle by scoring every record through
+// every pipeline with each model-routing a storm request can use (the
+// empty name follows the policy chain, exactly like a request with no
+// model field). Curves survive the JSON round trip exactly —
+// encoding/json emits the shortest representation that parses back to
+// the identical float64 — so the harness asserts equality, not
+// tolerance.
+func buildOracle(pipelines map[int]*trainer.Pipeline, recs []*jobrepo.Record, models []string) (curveOracle, error) {
+	oracle := curveOracle{}
+	for v, p := range pipelines {
+		byModel := map[string]map[string]pcc.Curve{}
+		for _, name := range models {
+			for _, rec := range recs {
+				curve, served, err := p.ScoreJobModel(name, rec.Job)
+				if err != nil {
+					return nil, fmt.Errorf("oracle: v%d model %q job %s: %w", v, name, rec.Job.ID, err)
+				}
+				byJob := byModel[served]
+				if byJob == nil {
+					byJob = map[string]pcc.Curve{}
+					byModel[served] = byJob
+				}
+				byJob[rec.Job.ID] = curve
+			}
+		}
+		oracle[v] = byModel
+	}
+	return oracle, nil
+}
+
 // trainSmall builds one small registry-publishable pipeline (mirrors the
 // serve package's test fixture: 30 jobs, 8-tree XGB, NN/GNN skipped so
 // naming them yields the 409 conflict path).
@@ -222,8 +262,12 @@ func trainSmall(seed int64) (*trainer.Pipeline, []*jobrepo.Record, error) {
 // that curve, and — for the usual non-increasing PCC shape from §2 of the
 // paper — run times monotone non-increasing in tokens. (A trained model
 // may legitimately fit a rising curve for an oddball job, so monotonicity
-// is asserted exactly when the curve's own slope is non-positive.)
-func checkScore(resp *serve.ScoreResponse, versions map[int]bool) error {
+// is asserted exactly when the curve's own slope is non-positive.) With a
+// non-nil oracle and a known job ID it additionally asserts the response
+// curve equals — exactly — what the labeled generation computes for the
+// job, which is what proves the serving curve cache never outlives a hot
+// reload.
+func checkScore(resp *serve.ScoreResponse, versions map[int]bool, oracle curveOracle, jobID string) error {
 	if resp.Model == "" {
 		return errors.New("200 response without a model name")
 	}
@@ -255,6 +299,22 @@ func checkScore(resp *serve.ScoreResponse, versions map[int]bool) error {
 	}
 	if resp.OptimalTokens < 1 {
 		return fmt.Errorf("200 response with optimal_tokens %d", resp.OptimalTokens)
+	}
+	if oracle != nil && jobID != "" {
+		if byModel, ok := oracle[resp.ModelVersion]; ok {
+			byJob, ok := byModel[resp.Model]
+			if !ok {
+				return fmt.Errorf("200 response served by model %q that no oracle generation serves", resp.Model)
+			}
+			want, ok := byJob[jobID]
+			if !ok {
+				return fmt.Errorf("job %s has no oracle curve for %s v%d", jobID, resp.Model, resp.ModelVersion)
+			}
+			if resp.Curve.A != want.A || resp.Curve.B != want.B {
+				return fmt.Errorf("stale curve: v%d %s served job %s (a=%g, b=%g) but that generation computes (a=%g, b=%g)",
+					resp.ModelVersion, resp.Model, jobID, resp.Curve.A, resp.Curve.B, want.A, want.B)
+			}
+		}
 	}
 	return nil
 }
@@ -358,6 +418,15 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The staleness oracle covers every model routing a storm 200 can use:
+	// the policy chain ("" resolves to XGBoost PL here) and the explicitly
+	// requested baselines.
+	oracle, err := buildOracle(
+		map[int]*trainer.Pipeline{1: p1, 2: p2}, recs,
+		[]string{"", "xgboost-pl", "jockey", "amdahl"})
+	if err != nil {
+		return nil, err
+	}
 	if _, err := reg.PublishPipeline(p1, registry.Manifest{}); err != nil {
 		return nil, err
 	}
@@ -458,7 +527,7 @@ func Run(cfg Config) (*Result, error) {
 			client.Breaker = serve.NewBreaker(8, 10*time.Millisecond)
 			client.OnAttempt = tal.hook
 			for op := 0; op < cfg.OpsPerWorker; op++ {
-				runOp(rng, client, recs, cnt, errs)
+				runOp(rng, client, recs, cnt, errs, oracle)
 			}
 		}(w)
 	}
@@ -494,14 +563,16 @@ func Run(cfg Config) (*Result, error) {
 				client := serve.NewClient(ts.URL)
 				client.OnAttempt = tal.hook
 				req := &serve.BatchScoreRequest{}
+				var ids []string
 				for i := 0; i < 256; i++ {
 					req.Items = append(req.Items, serve.ScoreRequest{Job: recs[i%len(recs)].Job})
+					ids = append(ids, recs[i%len(recs)].Job.ID)
 				}
 				<-start
 				resp, err := client.ScoreBatch(req)
 				switch {
 				case err == nil:
-					recordBatch(resp, cnt, errs, nil)
+					recordBatch(resp, cnt, errs, nil, oracle, ids)
 				case allowed(err, http.StatusTooManyRequests, http.StatusGatewayTimeout):
 					if code, _ := statusOf(err); code == http.StatusTooManyRequests {
 						var se *serve.StatusError
@@ -541,7 +612,7 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("recovery score %d failed after faults cleared: %w", i, err)
 		}
-		if err := checkScore(resp, cnt.versions); err != nil {
+		if err := checkScore(resp, cnt.versions, oracle, recs[i%len(recs)].Job.ID); err != nil {
 			return nil, fmt.Errorf("recovery score %d: %w", i, err)
 		}
 		recovered++
@@ -588,6 +659,23 @@ func Run(cfg Config) (*Result, error) {
 		if got := m[gauge]; got != 0 {
 			return nil, fmt.Errorf("gauge %s = %v after quiesce, want 0", gauge, got)
 		}
+	}
+	// Curve-cache accounting: every successfully scored job did exactly one
+	// cache lookup, so lookups bound the ok count from above; only misses
+	// insert and only inserts evict; and a storm of 30 recurring jobs (plus
+	// the all-repeat saturation batches) must actually hit.
+	cacheHits := m[obs.MetricCurveCacheHits]
+	cacheMisses := m[obs.MetricCurveCacheMisses]
+	cacheEvictions := m[obs.MetricCurveCacheEvictions]
+	if cacheHits+cacheMisses < wantOK {
+		return nil, fmt.Errorf("cache lookups %v (hits %v + misses %v) < scored-ok %v",
+			cacheHits+cacheMisses, cacheHits, cacheMisses, wantOK)
+	}
+	if cacheEvictions > cacheMisses {
+		return nil, fmt.Errorf("cache evictions %v exceed misses %v", cacheEvictions, cacheMisses)
+	}
+	if cacheHits < 1 {
+		return nil, errors.New("recurring-job storm never hit the curve cache")
 	}
 
 	// ---- Drain: new work is refused, probes stay truthful. ----
@@ -642,12 +730,13 @@ func Run(cfg Config) (*Result, error) {
 // runOp executes one randomly chosen operation and asserts its outcome is
 // in the allowed set. Gate sheds (429/504) and injected 500s are allowed
 // on every scoring op; everything else is op-specific.
-func runOp(rng *rand.Rand, client *serve.Client, recs []*jobrepo.Record, cnt *counters, errs *firstErr) {
+func runOp(rng *rand.Rand, client *serve.Client, recs []*jobrepo.Record, cnt *counters, errs *firstErr, oracle curveOracle) {
 	job := func() *scopesim.Job { return recs[rng.Intn(len(recs))].Job }
 	opRoll := rng.Intn(100)
 	switch {
 	case opRoll < 40: // single score, varied routing
 		req := &serve.ScoreRequest{Job: job()}
+		jobID := req.Job.ID
 		wantOK := true   // a 200 is acceptable
 		conflict := true // a 409 is acceptable (untrained/uncovered)
 		bad := false     // a 400 is acceptable (client error)
@@ -675,13 +764,15 @@ func runOp(rng *rand.Rand, client *serve.Client, recs []*jobrepo.Record, cnt *co
 			wantOK, conflict, bad = false, false, true
 		}
 		resp, err := client.Score(req)
-		checkSingle(resp, err, wantOK, conflict, bad, cnt, errs)
+		checkSingle(resp, err, wantOK, conflict, bad, cnt, errs, oracle, jobID)
 	case opRoll < 60: // batch, mixed item validity
 		req := &serve.BatchScoreRequest{}
 		n := 2 + rng.Intn(3)
 		expect := make([]string, n)
+		ids := make([]string, n)
 		for i := 0; i < n; i++ {
 			item := serve.ScoreRequest{Job: job()}
+			ids[i] = item.Job.ID
 			expect[i] = "ok"
 			switch roll := rng.Intn(10); {
 			case roll == 8:
@@ -696,7 +787,7 @@ func runOp(rng *rand.Rand, client *serve.Client, recs []*jobrepo.Record, cnt *co
 		resp, err := client.ScoreBatch(req)
 		switch {
 		case err == nil:
-			recordBatch(resp, cnt, errs, expect)
+			recordBatch(resp, cnt, errs, expect, oracle, ids)
 		case errors.Is(err, serve.ErrCircuitOpen):
 			cnt.mu.Lock()
 			cnt.circuitOpen++
@@ -751,12 +842,12 @@ func runOp(rng *rand.Rand, client *serve.Client, recs []*jobrepo.Record, cnt *co
 			CandidateTokens: []int{1 + rng.Intn(3), 8 + rng.Intn(8), 32 + rng.Intn(32), 128},
 		}
 		resp, err := client.Score(req)
-		checkSingle(resp, err, true, false, false, cnt, errs)
+		checkSingle(resp, err, true, false, false, cnt, errs, oracle, req.Job.ID)
 	}
 }
 
 // checkSingle asserts a single-score outcome against its allowed set.
-func checkSingle(resp *serve.ScoreResponse, err error, wantOK, conflict, bad bool, cnt *counters, errs *firstErr) {
+func checkSingle(resp *serve.ScoreResponse, err error, wantOK, conflict, bad bool, cnt *counters, errs *firstErr, oracle curveOracle, jobID string) {
 	switch {
 	case err == nil:
 		if !wantOK {
@@ -766,7 +857,7 @@ func checkSingle(resp *serve.ScoreResponse, err error, wantOK, conflict, bad boo
 		cnt.mu.Lock()
 		versions := cnt.versions
 		cnt.mu.Unlock()
-		if err := checkScore(resp, versions); err != nil {
+		if err := checkScore(resp, versions, oracle, jobID); err != nil {
 			errs.set(fmt.Errorf("score op: %w", err))
 		}
 	case errors.Is(err, serve.ErrCircuitOpen):
@@ -793,8 +884,8 @@ func checkSingle(resp *serve.ScoreResponse, err error, wantOK, conflict, bad boo
 // status from the per-item contract, expected-invalid items fail with
 // their expected class (or an injected 500, which outranks validation),
 // and item successes are sane scores. expect may be nil when all items
-// are valid.
-func recordBatch(resp *serve.BatchScoreResponse, cnt *counters, errs *firstErr, expect []string) {
+// are valid; ids carries the job ID per item for the staleness oracle.
+func recordBatch(resp *serve.BatchScoreResponse, cnt *counters, errs *firstErr, expect []string, oracle curveOracle, ids []string) {
 	cnt.mu.Lock()
 	versions := cnt.versions
 	cnt.mu.Unlock()
@@ -814,7 +905,11 @@ func recordBatch(resp *serve.BatchScoreResponse, cnt *counters, errs *firstErr, 
 				errs.set(fmt.Errorf("batch item %d: 200 without a response", i))
 				continue
 			}
-			if err := checkScore(item.Response, versions); err != nil {
+			jobID := ""
+			if ids != nil && i < len(ids) {
+				jobID = ids[i]
+			}
+			if err := checkScore(item.Response, versions, oracle, jobID); err != nil {
 				errs.set(fmt.Errorf("batch item %d: %w", i, err))
 			}
 			ok++

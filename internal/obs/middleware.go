@@ -103,6 +103,17 @@ const (
 	MetricReloadFailures    = "tasq_reload_failure_total"
 )
 
+// Metric names of the serving hot path's memoized curve cache. Counters
+// are cumulative across model generations (each hot reload swaps in a
+// fresh, empty cache but keeps the same series); the size gauge tracks
+// the entries held by the generation currently serving.
+const (
+	MetricCurveCacheHits      = "tasq_curve_cache_hits_total"
+	MetricCurveCacheMisses    = "tasq_curve_cache_misses_total"
+	MetricCurveCacheEvictions = "tasq_curve_cache_evictions_total"
+	MetricCurveCacheSize      = "tasq_curve_cache_size"
+)
+
 // statusClass buckets a status code into "1xx"…"5xx".
 func statusClass(code int) string {
 	if code < 100 || code > 599 {

@@ -1,0 +1,102 @@
+package pcc
+
+import (
+	"math"
+	"testing"
+)
+
+// A degenerate fit (catastrophic cancellation upstream, a corrupted
+// artifact, a hand-built curve) can carry a NaN/±Inf exponent or a
+// magnitude that overflows the §2.1 closed form. The allocation rules must
+// stay inside their [minTokens, maxTokens] contract for every such input —
+// int(NaN) and int(±Inf) are implementation-defined in Go, so nothing may
+// reach the float→int conversion unclamped.
+
+func TestOptimalTokensNonFiniteExponents(t *testing.T) {
+	cases := []struct {
+		name      string
+		curve     Curve
+		threshold float64
+		want      int
+	}{
+		// NaN exponent: NonIncreasing is false (NaN ≤ 0 is false) — floor.
+		{"nan exponent", Curve{A: math.NaN(), B: 10}, 0.01, 1},
+		// +Inf exponent: increasing curve — floor.
+		{"+inf exponent", Curve{A: math.Inf(1), B: 10}, 0.01, 1},
+		// −Inf exponent: infinitely steep, every extra token keeps paying
+		// off — saturate the cap instead of converting +Inf to int.
+		{"-inf exponent", Curve{A: math.Inf(-1), B: 10}, 0.01, 500},
+		// Huge finite exponent over a small threshold: −a/threshold = 1e302
+		// is finite but far beyond any int contract — saturate.
+		{"-1e300 exponent", Curve{A: -1e300, B: 10}, 0.01, 500},
+		// Overflow inside the division itself: the quotient is +Inf.
+		{"overflowing quotient", Curve{A: -1e300, B: 10}, 1e-300, 500},
+		// −Inf over +Inf is NaN: no usable slope information — floor.
+		{"inf/inf quotient", Curve{A: math.Inf(-1), B: 10}, math.Inf(1), 1},
+		// NaN scale: NonIncreasing is false — floor.
+		{"nan scale", Curve{A: -1, B: math.NaN()}, 0.01, 1},
+	}
+	for _, tc := range cases {
+		if got := tc.curve.OptimalTokens(1, 500, tc.threshold); got != tc.want {
+			t.Errorf("%s: OptimalTokens = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestOptimalTokensAlwaysInContract(t *testing.T) {
+	exponents := []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1e300, -1e-300, 1e300, 0, -0.8}
+	scales := []float64{math.NaN(), math.Inf(1), 1e300, 1e-300, 10}
+	thresholds := []float64{math.NaN(), math.Inf(1), 1e-300, 1e300, 0.01, 0}
+	for _, a := range exponents {
+		for _, b := range scales {
+			for _, th := range thresholds {
+				c := Curve{A: a, B: b}
+				if got := c.OptimalTokens(2, 64, th); got < 2 || got > 64 {
+					t.Fatalf("OptimalTokens(%v, th=%v) = %d, outside [2, 64]", c, th, got)
+				}
+			}
+		}
+	}
+}
+
+func TestTokensForSlowdownNonFiniteInputs(t *testing.T) {
+	cases := []struct {
+		name     string
+		curve    Curve
+		slowdown float64
+		want     int
+	}{
+		// NaN exponent: not non-increasing — reference unchanged.
+		{"nan exponent", Curve{A: math.NaN(), B: 10}, 0.1, 100},
+		// −Inf exponent: (1+s)^{1/a} = (1+s)^{−0} = 1 — reference.
+		{"-inf exponent", Curve{A: math.Inf(-1), B: 10}, 0.1, 100},
+		// Huge magnitude: (1+s)^{−1e-300} ≈ 1, rounded up to reference.
+		{"-1e300 exponent", Curve{A: -1e300, B: 10}, 0.1, 100},
+		// Tiny magnitude: (1+s)^{−1e300} = 0 — floor of 1.
+		{"-1e-300 exponent", Curve{A: -1e-300, B: 10}, 0.1, 1},
+		// NaN slowdown propagates NaN through Pow — reference, not int(NaN).
+		{"nan slowdown", Curve{A: -1, B: 10}, math.NaN(), 100},
+		// s = −1 with a fractional exponent: 0^{1/a} with 1/a < 0 is +Inf.
+		{"slowdown -1", Curve{A: -0.5, B: 10}, -1, 100},
+		// +Inf slowdown: infinite slack buys the 1-token floor.
+		{"+inf slowdown", Curve{A: -1, B: 10}, math.Inf(1), 1},
+	}
+	for _, tc := range cases {
+		if got := tc.curve.TokensForSlowdown(100, tc.slowdown); got != tc.want {
+			t.Errorf("%s: TokensForSlowdown = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestTokensForSlowdownAlwaysInContract(t *testing.T) {
+	exponents := []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1e300, -1e-300, -0.7, 0}
+	slowdowns := []float64{math.NaN(), math.Inf(1), -1, -2, 1e300, 0.1, 0}
+	for _, a := range exponents {
+		for _, s := range slowdowns {
+			c := Curve{A: a, B: 10}
+			if got := c.TokensForSlowdown(50, s); got < 1 || got > 50 {
+				t.Fatalf("TokensForSlowdown(%v, s=%v) = %d, outside [1, 50]", c, s, got)
+			}
+		}
+	}
+}

@@ -180,13 +180,23 @@ func (c Curve) OptimalTokens(minTokens, maxTokens int, threshold float64) int {
 	if !c.NonIncreasing() || threshold <= 0 {
 		return minTokens
 	}
-	// |a|/A < threshold  ⇔  A > |a|/threshold.
-	opt := int(math.Ceil(-c.A / threshold))
-	if opt < minTokens {
+	// |a|/A < threshold  ⇔  A > |a|/threshold. The division can leave the
+	// float domain: a = −Inf (or a finite magnitude like −1e300 over a
+	// denormal threshold) overflows to +Inf, and −(−Inf)/+Inf is NaN.
+	// Converting a non-finite or out-of-range float to int is
+	// implementation-defined in Go, so clamp in float space first: NaN
+	// carries no slope information (contract floor), and anything at or
+	// beyond maxTokens saturates the cap.
+	raw := math.Ceil(-c.A / threshold)
+	if math.IsNaN(raw) {
 		return minTokens
 	}
-	if opt > maxTokens {
+	if raw >= float64(maxTokens) {
 		return maxTokens
+	}
+	opt := int(raw)
+	if opt < minTokens {
+		return minTokens
 	}
 	return opt
 }
@@ -209,12 +219,17 @@ func (c Curve) TokensForSlowdown(reference int, maxSlowdown float64) int {
 	if c.A == 0 {
 		return 1
 	}
-	tok := int(math.Ceil(float64(reference) * math.Pow(1+maxSlowdown, 1/c.A)))
+	// Same float→int hazard as OptimalTokens: a = −Inf gives 1/a = −0 and
+	// (1+s)^{−0} = 1 (reference unchanged), but degenerate slowdowns (NaN,
+	// s = −1 with a fractional exponent) can leave the product non-finite,
+	// and int(NaN/±Inf) is implementation-defined. Clamp in float space.
+	raw := math.Ceil(float64(reference) * math.Pow(1+maxSlowdown, 1/c.A))
+	if math.IsNaN(raw) || raw >= float64(reference) {
+		return reference
+	}
+	tok := int(raw)
 	if tok < 1 {
 		tok = 1
-	}
-	if tok > reference {
-		tok = reference
 	}
 	return tok
 }

@@ -51,7 +51,11 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "serve: batch too large", http.StatusBadRequest)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.scoreBatch(&req))
+	out := s.scoreBatch(&req)
+	writeJSON(w, http.StatusOK, out)
+	for i := range out.Results {
+		putScoreResponse(out.Results[i].Response)
+	}
 }
 
 // scoreBatch fans the items out over at most s.workers goroutines and

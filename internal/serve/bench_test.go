@@ -1,0 +1,180 @@
+package serve
+
+// Serving-side hot-path benchmarks. scripts/bench.sh runs these and
+// distills BENCH_serving.json — scores/sec serially and across all cores,
+// allocs/op on the memoized single-score path, and p50/p99 latency through
+// the admission gate. The fixtures score real trained-pipeline curves so
+// the uncached numbers include genuine predictor work, while the cached
+// numbers isolate the memoized steady state the curve cache was built for.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+)
+
+type benchFixture struct {
+	srv      *Server
+	ts       *httptest.Server
+	reqs     []*ScoreRequest
+	payloads [][]byte
+}
+
+func newBenchFixture(b *testing.B, opts ...Option) *benchFixture {
+	b.Helper()
+	p, recs := trainedCachePipeline(b)
+	srv, err := NewServer(p, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	f := &benchFixture{srv: srv, ts: ts}
+	for _, rec := range recs {
+		req := &ScoreRequest{Job: rec.Job}
+		payload, err := json.Marshal(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.reqs = append(f.reqs, req)
+		f.payloads = append(f.payloads, payload)
+	}
+	return f
+}
+
+// warm runs every request once so steady-state iterations hit the cache.
+func (f *benchFixture) warm(b *testing.B) {
+	b.Helper()
+	for _, req := range f.reqs {
+		resp, err := f.srv.score(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		putScoreResponse(resp)
+	}
+}
+
+func (f *benchFixture) post(b *testing.B, payload []byte) {
+	resp, err := http.Post(f.ts.URL+"/v1/score", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkScoreSingle measures one in-process score call — the memoized
+// hit path against the full predictor path — with allocs/op reported, the
+// number the TestScoreAllocsGate ceiling pins.
+func BenchmarkScoreSingle(b *testing.B) {
+	b.Run("cached", func(b *testing.B) {
+		f := newBenchFixture(b)
+		f.warm(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := f.srv.score(f.reqs[i%len(f.reqs)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			putScoreResponse(resp)
+		}
+	})
+	b.Run("uncached", func(b *testing.B) {
+		f := newBenchFixture(b, WithCurveCache(0))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := f.srv.score(f.reqs[i%len(f.reqs)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			putScoreResponse(resp)
+		}
+	})
+}
+
+// BenchmarkScoreSerial is one client scoring over HTTP through the
+// admission gate — JSON decode, cache, encode, instrumentation included.
+func BenchmarkScoreSerial(b *testing.B) {
+	f := newBenchFixture(b)
+	f.warm(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.post(b, f.payloads[i%len(f.payloads)])
+	}
+}
+
+// BenchmarkScoreParallel saturates the endpoint from GOMAXPROCS client
+// goroutines — the machine-wide scores/sec headline.
+func BenchmarkScoreParallel(b *testing.B) {
+	f := newBenchFixture(b)
+	f.warm(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			f.post(b, f.payloads[i%len(f.payloads)])
+			i++
+		}
+	})
+}
+
+// BenchmarkScoreGateLatency reports p50/p99 request latency through the
+// admission gate alongside the usual ns/op.
+func BenchmarkScoreGateLatency(b *testing.B) {
+	f := newBenchFixture(b)
+	f.warm(b)
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		f.post(b, f.payloads[i%len(f.payloads)])
+		lat = append(lat, time.Since(start))
+	}
+	b.StopTimer()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p int) float64 {
+		idx := len(lat) * p / 100
+		if idx >= len(lat) {
+			idx = len(lat) - 1
+		}
+		return float64(lat[idx].Nanoseconds()) / 1e3
+	}
+	b.ReportMetric(pct(50), "p50_us")
+	b.ReportMetric(pct(99), "p99_us")
+}
+
+// BenchmarkBatchScore fans a full batch through the worker pool; the
+// constant jobs/op metric lets bench.sh derive per-job throughput.
+func BenchmarkBatchScore(b *testing.B) {
+	f := newBenchFixture(b)
+	f.warm(b)
+	batch := &BatchScoreRequest{}
+	for i := 0; i < 64; i++ {
+		batch.Items = append(batch.Items, *f.reqs[i%len(f.reqs)])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := f.srv.scoreBatch(batch)
+		if out.Failed != 0 {
+			b.Fatalf("%d batch items failed", out.Failed)
+		}
+		for j := range out.Results {
+			putScoreResponse(out.Results[j].Response)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(batch.Items)), "jobs/op")
+}

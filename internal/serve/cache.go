@@ -1,0 +1,339 @@
+package serve
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"tasq/internal/obs"
+	"tasq/internal/pcc"
+	"tasq/internal/scopesim"
+)
+
+// The serving hot path memoizes fitted curves: predicting a PCC walks the
+// boosted trees (or runs a wave simulation) over the ±40% token grid and
+// fits a power law, all of which is a pure function of (predictor, job
+// content). Production scoring traffic is dominated by recurring jobs —
+// the same compiled plan resubmitted on a schedule — so one bounded,
+// LRU-evicted cache per loaded model generation turns the steady state
+// into a key build plus a map probe.
+//
+// Correctness rests on three properties:
+//
+//   - The key covers every input a predictor reads: the requested model
+//     name (normalized the way the Mux resolves it), the job's requested
+//     tokens (the anchoring reference), its template (AutoToken's group
+//     signature), the full operator set with compile-time estimates (the
+//     featurization of Table 1) and the stage DAG (the simulator
+//     baselines execute it). Identity fields predictors never consume —
+//     job ID, virtual cluster, submit time — are deliberately excluded so
+//     recurring resubmissions of one plan share an entry. Lookup is by
+//     exact key comparison, never by hash alone, so collisions are
+//     impossible by construction.
+//   - The cache lives inside the activeModel swapped through the server's
+//     atomic pointer: a hot reload installs a new generation with a
+//     fresh, empty cache in one atomic store, so a new generation can
+//     never observe — let alone serve — a predecessor's curves.
+//   - Only successful, Valid() curves are stored, after the job passed
+//     full validation; a cache hit therefore proves an identical job
+//     already validated, letting the hit path skip re-validation.
+
+// DefaultCurveCacheCap is the default bound on memoized curves per loaded
+// generation. Entries are a few hundred bytes (the encoded job key
+// dominates), so the default costs single-digit megabytes.
+const DefaultCurveCacheCap = 4096
+
+// cacheShardCount spreads entries over independently locked shards so
+// concurrent scoring on many cores does not serialize on one LRU mutex.
+const cacheShardCount = 16
+
+// cachedScore is the memoized outcome of one (model, job) scoring: the
+// fitted curve, the canonical name of the predictor that served it, and
+// that predictor's pre-resolved tasq_score_total counter (label lookup
+// allocates, so the hit path must not repeat it).
+type cachedScore struct {
+	curve   pcc.Curve
+	model   string
+	counter *obs.Counter
+}
+
+// cacheEntry is one LRU node; entries are intrusive so a hit moves a node
+// without allocating.
+type cacheEntry struct {
+	key        string
+	val        cachedScore
+	prev, next *cacheEntry
+}
+
+// cacheShard is one independently locked LRU segment.
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	head    *cacheEntry // most recently used
+	tail    *cacheEntry // least recently used
+}
+
+// cacheMetrics are the obs handles shared by every generation's cache;
+// counters accumulate across hot reloads, the gauge follows the current
+// cache's entry count.
+type cacheMetrics struct {
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+	size      *obs.Gauge
+}
+
+// newCacheMetrics registers the curve-cache series on reg.
+func newCacheMetrics(reg *obs.Registry) *cacheMetrics {
+	reg.SetHelp(obs.MetricCurveCacheHits, "Curve-cache lookups answered from the memoized curve of the serving generation.")
+	reg.SetHelp(obs.MetricCurveCacheMisses, "Curve-cache lookups that fell through to the predictor.")
+	reg.SetHelp(obs.MetricCurveCacheEvictions, "Curves evicted by the LRU capacity bound.")
+	reg.SetHelp(obs.MetricCurveCacheSize, "Curves currently memoized by the serving generation.")
+	return &cacheMetrics{
+		hits:      reg.Counter(obs.MetricCurveCacheHits),
+		misses:    reg.Counter(obs.MetricCurveCacheMisses),
+		evictions: reg.Counter(obs.MetricCurveCacheEvictions),
+		size:      reg.Gauge(obs.MetricCurveCacheSize),
+	}
+}
+
+// curveCache is a bounded, sharded LRU of cachedScore keyed by the exact
+// encoded (model, job) bytes. A nil *curveCache is valid and disables
+// memoization.
+type curveCache struct {
+	shards   []cacheShard
+	capShard int
+	count    atomic.Int64
+	met      *cacheMetrics
+}
+
+// newCurveCache builds a cache bounded at roughly capacity entries
+// (rounded up to a multiple of the shard count). capacity <= 0 returns
+// nil — caching disabled. Small capacities collapse to one shard so the
+// bound, and LRU order, are exact where tests exercise eviction.
+func newCurveCache(capacity int, met *cacheMetrics) *curveCache {
+	if capacity <= 0 {
+		return nil
+	}
+	shards := cacheShardCount
+	if capacity < shards {
+		shards = 1
+	}
+	c := &curveCache{
+		shards:   make([]cacheShard, shards),
+		capShard: (capacity + shards - 1) / shards,
+		met:      met,
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*cacheEntry)
+	}
+	return c
+}
+
+// shardFor picks the shard by FNV-1a over the key bytes.
+func (c *curveCache) shardFor(key []byte) *cacheShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return &c.shards[h%uint64(len(c.shards))]
+}
+
+// get returns the memoized score for the exact key, refreshing its LRU
+// position. The []byte key is compared as a string without allocating.
+func (c *curveCache) get(key []byte) (cachedScore, bool) {
+	if c == nil {
+		return cachedScore{}, false
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	e, ok := s.entries[string(key)]
+	if !ok {
+		s.mu.Unlock()
+		c.met.misses.Inc()
+		return cachedScore{}, false
+	}
+	s.moveToFront(e)
+	val := e.val
+	s.mu.Unlock()
+	c.met.hits.Inc()
+	return val, true
+}
+
+// put memoizes a score, evicting the shard's least recently used entry
+// beyond capacity. Racing puts for the same key keep the first value
+// (both computed the same pure function, so either is correct).
+func (c *curveCache) put(key []byte, val cachedScore) {
+	if c == nil {
+		return
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if e, ok := s.entries[string(key)]; ok {
+		s.moveToFront(e)
+		s.mu.Unlock()
+		return
+	}
+	e := &cacheEntry{key: string(key), val: val}
+	s.entries[e.key] = e
+	s.pushFront(e)
+	var evicted bool
+	if len(s.entries) > c.capShard {
+		lru := s.tail
+		s.unlink(lru)
+		delete(s.entries, lru.key)
+		evicted = true
+	}
+	s.mu.Unlock()
+	if evicted {
+		c.met.evictions.Inc()
+		c.met.size.Set(c.count.Load())
+	} else {
+		c.met.size.Set(c.count.Add(1))
+	}
+}
+
+// Len reports the total entries held (tests and the size gauge).
+func (c *curveCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	return int(c.count.Load())
+}
+
+func (s *cacheShard) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *cacheShard) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *cacheShard) moveToFront(e *cacheEntry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+// keyBuf is a pooled scratch buffer for encoding cache keys; steady-state
+// scoring builds every key into recycled backing arrays.
+type keyBuf struct{ b []byte }
+
+var keyBufPool = sync.Pool{
+	New: func() any { return &keyBuf{b: make([]byte, 0, 1024)} },
+}
+
+func getKeyBuf() *keyBuf { return keyBufPool.Get().(*keyBuf) }
+
+func putKeyBuf(kb *keyBuf) {
+	kb.b = kb.b[:0]
+	keyBufPool.Put(kb)
+}
+
+// appendScoreKey encodes everything a predictor may read from the request
+// into kb: the normalized model name, then the job's curve-relevant
+// content. Varints separate counts from payloads, so the encoding is
+// prefix-free and two distinct jobs can never encode to the same bytes.
+func appendScoreKey(kb *keyBuf, modelName string, job *scopesim.Job) {
+	b := kb.b
+	// Model name, normalized like the Mux resolves it (case, space, dash
+	// and underscore insensitive) so "xgboost-pl" and "XGBoost PL" share
+	// one entry. A terminating 0 separates it from the job payload
+	// (normalization strips no control bytes, so 0 cannot appear within).
+	for i := 0; i < len(modelName); i++ {
+		ch := modelName[i]
+		switch {
+		case ch >= 'A' && ch <= 'Z':
+			b = append(b, ch+'a'-'A')
+		case ch == ' ' || ch == '-' || ch == '_':
+		default:
+			b = append(b, ch)
+		}
+	}
+	b = append(b, 0)
+
+	b = binary.AppendVarint(b, int64(job.RequestedTokens))
+	b = binary.AppendUvarint(b, uint64(len(job.Template)))
+	b = append(b, job.Template...)
+
+	// Operator and stage IDs carry no feature signal (Validate pins them
+	// to slice positions), but keying them keeps the 400 contract exact:
+	// every stored key passed validation, so a job violating any Validate
+	// invariant — misnumbered IDs included — can never hit and always
+	// reaches the slow path's Validate call.
+	b = binary.AppendUvarint(b, uint64(len(job.Operators)))
+	for i := range job.Operators {
+		op := &job.Operators[i]
+		b = binary.AppendVarint(b, int64(op.ID))
+		b = binary.AppendVarint(b, int64(op.Kind))
+		b = binary.AppendVarint(b, int64(op.Partitioning))
+		b = binary.AppendVarint(b, int64(op.Stage))
+		b = binary.AppendUvarint(b, uint64(len(op.Children)))
+		for _, c := range op.Children {
+			b = binary.AppendVarint(b, int64(c))
+		}
+		// Compile-time estimates only: True metrics are execution-time
+		// knowledge no predictor sees (features.go reads Est exclusively).
+		b = appendFloat(b, op.Est.OutputCardinality)
+		b = appendFloat(b, op.Est.LeafInputCardinality)
+		b = appendFloat(b, op.Est.ChildrenInputCardinality)
+		b = appendFloat(b, op.Est.AvgRowLength)
+		b = appendFloat(b, op.Est.SubtreeCost)
+		b = appendFloat(b, op.Est.ExclusiveCost)
+		b = appendFloat(b, op.Est.TotalCost)
+		b = binary.AppendVarint(b, int64(op.Est.NumPartitions))
+		b = binary.AppendVarint(b, int64(op.Est.NumPartitioningColumns))
+		b = binary.AppendVarint(b, int64(op.Est.NumSortColumns))
+	}
+
+	// The stage DAG drives the Jockey/Amdahl wave simulations.
+	b = binary.AppendUvarint(b, uint64(len(job.Stages)))
+	for i := range job.Stages {
+		st := &job.Stages[i]
+		b = binary.AppendVarint(b, int64(st.ID))
+		b = binary.AppendVarint(b, int64(st.Tasks))
+		b = binary.AppendVarint(b, int64(st.TaskSeconds))
+		b = binary.AppendUvarint(b, uint64(len(st.Deps)))
+		for _, d := range st.Deps {
+			b = binary.AppendVarint(b, int64(d))
+		}
+		b = binary.AppendUvarint(b, uint64(len(st.Operators)))
+		for _, o := range st.Operators {
+			b = binary.AppendVarint(b, int64(o))
+		}
+	}
+	kb.b = b
+}
+
+// appendFloat encodes a float64 by its IEEE bits (exact identity; NaN
+// payloads distinct, which only costs a duplicate entry, never a wrong
+// answer).
+func appendFloat(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}

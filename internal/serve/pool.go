@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"bytes"
+	"sync"
+)
+
+// Steady-state request handling recycles its transient buffers: the
+// body-read and JSON-encode scratch space and the ScoreResponse values
+// themselves. Together with the curve cache this keeps the hot score
+// path at a handful of allocations per request instead of re-growing
+// byte slices and prediction tables on every call.
+
+// jsonBufPool recycles the scratch buffers behind decodeBody and
+// writeJSON.
+var jsonBufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+func getJSONBuf() *bytes.Buffer { return jsonBufPool.Get().(*bytes.Buffer) }
+
+func putJSONBuf(b *bytes.Buffer) {
+	b.Reset()
+	jsonBufPool.Put(b)
+}
+
+// scoreRespPool recycles ScoreResponse values, keeping each one's
+// Predictions backing array across uses. Handlers release responses back
+// with putScoreResponse after serializing them; nothing may touch a
+// response after releasing it.
+var scoreRespPool = sync.Pool{
+	New: func() any { return new(ScoreResponse) },
+}
+
+func getScoreResponse() *ScoreResponse { return scoreRespPool.Get().(*ScoreResponse) }
+
+func putScoreResponse(r *ScoreResponse) {
+	if r == nil {
+		return
+	}
+	preds := r.Predictions[:0]
+	*r = ScoreResponse{Predictions: preds}
+	scoreRespPool.Put(r)
+}

@@ -151,6 +151,11 @@ func httpStatus(err error) int {
 	if errors.Is(err, model.ErrUnknownModel) {
 		return http.StatusBadRequest
 	}
+	// A missing token bound is the caller's omission (supply max_tokens or
+	// score a record with observed tokens), same contract as a negative one.
+	if errors.Is(err, trainer.ErrNoTokenBound) {
+		return http.StatusBadRequest
+	}
 	if errors.Is(err, model.ErrUntrained) || errors.Is(err, model.ErrUncovered) {
 		return http.StatusConflict
 	}
@@ -211,10 +216,14 @@ func parseRetryAfter(h string) time.Duration {
 // activeModel is one loaded model generation: an immutable scorer plus
 // the registry version it came from (0 = unversioned, e.g. a -model
 // file). Swaps replace the whole value through an atomic pointer, so
-// in-flight requests keep the generation they started with.
+// in-flight requests keep the generation they started with. The curve
+// cache rides inside the generation: the same atomic store that installs
+// a new scorer installs its fresh, empty cache, so no ordering of loads
+// can pair a new generation with a predecessor's memoized curves.
 type activeModel struct {
 	scorer  scorer
 	version int
+	cache   *curveCache
 }
 
 // shadowModel is a candidate generation scored alongside the active one.
@@ -256,6 +265,12 @@ type Server struct {
 	// model; 0 disables shadow scoring.
 	shadowEvery int64
 	shadowSeq   atomic.Int64
+
+	// cacheCap bounds each generation's memoized-curve cache; ≤ 0
+	// disables memoization entirely. cacheMet holds the obs handles the
+	// per-generation caches share.
+	cacheCap int
+	cacheMet *cacheMetrics
 
 	// reloadFn, when set, is invoked by POST /v1/admin/reload to sync
 	// against the model registry immediately.
@@ -365,6 +380,13 @@ func WithShadowSampleRate(rate float64) Option {
 	}
 }
 
+// WithCurveCache bounds the per-generation memoized-curve cache to
+// roughly capacity entries (default DefaultCurveCacheCap); capacity <= 0
+// disables memoization, so every request runs the full predictor.
+func WithCurveCache(capacity int) Option {
+	return func(s *Server) { s.cacheCap = capacity }
+}
+
 // NewServer wraps a trained pipeline.
 func NewServer(p *trainer.Pipeline, opts ...Option) (*Server, error) {
 	if p == nil {
@@ -394,11 +416,13 @@ func newServer(p scorer, opts ...Option) (*Server, error) {
 		maxQueue:    DefaultMaxQueue,
 		queueWait:   DefaultQueueWait,
 		retryAfter:  DefaultRetryAfter,
+		cacheCap:    DefaultCurveCacheCap,
 	}
 	for _, opt := range opts {
 		opt(s)
 	}
 	s.gate = newGate(s.maxInFlight, s.maxQueue, s.queueWait, s.retryAfter, s.reg)
+	s.cacheMet = newCacheMetrics(s.reg)
 
 	s.reg.SetHelp("tasq_score_jobs_total", "Jobs scored, by outcome (ok, rejected, failed).")
 	s.scoreOK = s.reg.Counter("tasq_score_jobs_total", "outcome", "ok")
@@ -437,7 +461,15 @@ func (s *Server) SetActive(p *trainer.Pipeline, version int) error {
 }
 
 func (s *Server) setActive(sc scorer, version int) {
-	first := s.active.Swap(&activeModel{scorer: sc, version: version}) == nil
+	gen := &activeModel{
+		scorer:  sc,
+		version: version,
+		cache:   newCurveCache(s.cacheCap, s.cacheMet),
+	}
+	first := s.active.Swap(gen) == nil
+	// The swapped-out generation's curves are unreachable the moment the
+	// store lands; reset the size gauge to the new (empty) cache.
+	s.cacheMet.size.Set(0)
 	s.activeVersion.Set(int64(version))
 	if first {
 		s.ready.Store(true)
@@ -539,13 +571,16 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
-// decodeBody reads and unmarshals a bounded request body into v.
+// decodeBody reads and unmarshals a bounded request body into v through a
+// pooled buffer (json.Unmarshal copies what it keeps, so recycling the
+// raw bytes is safe).
 func decodeBody(r *http.Request, v any) error {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
-	if err != nil {
+	buf := getJSONBuf()
+	defer putJSONBuf(buf)
+	if _, err := buf.ReadFrom(io.LimitReader(r.Body, maxBodyBytes)); err != nil {
 		return fmt.Errorf("reading request: %w", err)
 	}
-	if err := json.Unmarshal(body, v); err != nil {
+	if err := json.Unmarshal(buf.Bytes(), v); err != nil {
 		return fmt.Errorf("decoding request: %w", err)
 	}
 	return nil
@@ -567,6 +602,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+	putScoreResponse(resp)
 }
 
 // scoreSingle runs the single-score endpoint's request: the injector's
@@ -612,17 +648,14 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// score runs one request through validation and the pipeline. All
-// validation failures come back as *requestError (HTTP 400); anything the
-// pipeline itself gets wrong is internal (HTTP 500).
+// score runs one request through validation, the generation's memoized
+// curve cache and — on a miss — the pipeline. All validation failures
+// come back as *requestError (HTTP 400); anything the pipeline itself
+// gets wrong is internal (HTTP 500).
 func (s *Server) score(req *ScoreRequest) (*ScoreResponse, error) {
 	if req.Job == nil {
 		s.scoreRejected.Inc()
 		return nil, reqErrf("serve: request without job")
-	}
-	if err := req.Job.Validate(); err != nil {
-		s.scoreRejected.Inc()
-		return nil, reqErrf("serve: invalid job: %w", err)
 	}
 	if req.Threshold < 0 {
 		s.scoreRejected.Inc()
@@ -644,22 +677,55 @@ func (s *Server) score(req *ScoreRequest) (*ScoreResponse, error) {
 		s.scoreFailed.Inc()
 		return nil, errNoModel
 	}
-	curve, served, err := scoreVia(active.scorer, req)
-	if err != nil {
-		err = fmt.Errorf("serve: scoring: %w", err)
-		// Routing failures (unknown name, untrained predictor) are the
-		// caller's to fix, not a pipeline malfunction.
-		if code := httpStatus(err); code == http.StatusBadRequest || code == http.StatusConflict {
-			s.scoreRejected.Inc()
-		} else {
-			s.scoreFailed.Inc()
+
+	// Curve lookup. A hit skips both the predictor and Job.Validate:
+	// entries are only stored for jobs that passed validation, and the
+	// exact key covers every field Validate constrains, so a job that
+	// would fail validation can never match a stored key.
+	var (
+		curve        pcc.Curve
+		served       string
+		servedScores *obs.Counter
+		hit          bool
+		kb           *keyBuf
+	)
+	if active.cache != nil {
+		kb = getKeyBuf()
+		defer putKeyBuf(kb)
+		appendScoreKey(kb, req.Model, req.Job)
+		var e cachedScore
+		if e, hit = active.cache.get(kb.b); hit {
+			curve, served, servedScores = e.curve, e.model, e.counter
 		}
-		return nil, err
 	}
-	if !curve.Valid() {
-		s.scoreFailed.Inc()
-		return nil, fmt.Errorf("serve: scoring: model %s produced invalid curve %v", served, curve)
+	if !hit {
+		if err := req.Job.Validate(); err != nil {
+			s.scoreRejected.Inc()
+			return nil, reqErrf("serve: invalid job: %w", err)
+		}
+		var err error
+		curve, served, err = scoreVia(active.scorer, req)
+		if err != nil {
+			err = fmt.Errorf("serve: scoring: %w", err)
+			// Routing failures (unknown name, untrained predictor) are the
+			// caller's to fix, not a pipeline malfunction.
+			if code := httpStatus(err); code == http.StatusBadRequest || code == http.StatusConflict {
+				s.scoreRejected.Inc()
+			} else {
+				s.scoreFailed.Inc()
+			}
+			return nil, err
+		}
+		if !curve.Valid() {
+			s.scoreFailed.Inc()
+			return nil, fmt.Errorf("serve: scoring: model %s produced invalid curve %v", served, curve)
+		}
+		servedScores = s.reg.Counter("tasq_score_total", "model", served)
+		if active.cache != nil {
+			active.cache.put(kb.b, cachedScore{curve: curve, model: served, counter: servedScores})
+		}
 	}
+
 	threshold := req.Threshold
 	if threshold == 0 {
 		threshold = 0.01
@@ -671,24 +737,40 @@ func (s *Server) score(req *ScoreRequest) (*ScoreResponse, error) {
 	if maxTokens <= 0 {
 		maxTokens = 1
 	}
-	resp := &ScoreResponse{
-		Model:         served,
-		ModelVersion:  active.version,
-		Curve:         CurveJSON{A: curve.A, B: curve.B},
-		OptimalTokens: curve.OptimalTokens(1, maxTokens, threshold),
-	}
-	candidates := req.CandidateTokens
-	if len(candidates) == 0 {
-		candidates = defaultCandidates(maxTokens)
-	}
-	for _, tok := range candidates {
-		resp.Predictions = append(resp.Predictions, PointJSON{
-			Tokens:         tok,
-			RuntimeSeconds: curve.Runtime(float64(tok)),
-		})
+	resp := getScoreResponse()
+	resp.Model = served
+	resp.ModelVersion = active.version
+	resp.Curve = CurveJSON{A: curve.A, B: curve.B}
+	resp.OptimalTokens = curve.OptimalTokens(1, maxTokens, threshold)
+	if len(req.CandidateTokens) == 0 {
+		// The default ten-point sweep over [1, maxTokens], appended
+		// directly into the pooled response; tok is non-decreasing in i,
+		// so comparing against the previous point dedupes exactly like
+		// defaultCandidates.
+		last := 0
+		for i := 1; i <= 10; i++ {
+			tok := maxTokens * i / 10
+			if tok < 1 {
+				tok = 1
+			}
+			if tok != last {
+				last = tok
+				resp.Predictions = append(resp.Predictions, PointJSON{
+					Tokens:         tok,
+					RuntimeSeconds: curve.Runtime(float64(tok)),
+				})
+			}
+		}
+	} else {
+		for _, tok := range req.CandidateTokens {
+			resp.Predictions = append(resp.Predictions, PointJSON{
+				Tokens:         tok,
+				RuntimeSeconds: curve.Runtime(float64(tok)),
+			})
+		}
 	}
 	s.scoreOK.Inc()
-	s.reg.Counter("tasq_score_total", "model", served).Inc()
+	servedScores.Inc()
 	s.shadowScore(req, curve, resp.OptimalTokens, maxTokens, threshold)
 	return resp, nil
 }
@@ -724,30 +806,42 @@ func (s *Server) shadowScore(req *ScoreRequest, activeCurve pcc.Curve, activeOpt
 	}
 }
 
-// defaultCandidates spreads ten points over [1, max].
+// defaultCandidates spreads ten deduplicated points over [1, max]; tok is
+// non-decreasing in i, so deduping against the previous point suffices.
+// The scoring hot path inlines this loop to append into the pooled
+// response; this form backs tests and other callers.
 func defaultCandidates(max int) []int {
 	if max < 1 {
 		max = 1
 	}
-	seen := map[int]bool{}
 	var out []int
+	last := 0
 	for i := 1; i <= 10; i++ {
 		tok := max * i / 10
 		if tok < 1 {
 			tok = 1
 		}
-		if !seen[tok] {
-			seen[tok] = true
+		if tok != last {
+			last = tok
 			out = append(out, tok)
 		}
 	}
 	return out
 }
 
+// writeJSON encodes v through a pooled buffer, then writes it in one
+// call; the buffer doubles as the Content-Length source.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := getJSONBuf()
+	defer putJSONBuf(buf)
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		http.Error(w, "serve: encoding response", http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
 }
 
 // Client calls a TASQ scoring service.

@@ -3,6 +3,7 @@ package trainer
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 
 	"tasq/internal/arepas"
@@ -220,10 +221,28 @@ func (p *Pipeline) ScoreJob(job *scopesim.Job) (pcc.Curve, string, error) {
 	return curve, pr.Name(), err
 }
 
+// ErrNoTokenBound marks an optimal-token request with no usable search
+// cap: neither the caller's maxTokens nor the record's observed token
+// count is positive. Without a bound the §2.1 rule would silently run
+// with maxTokens = minTokens = 1 and recommend 1 token for any curve —
+// a garbage allocation, not an answer. Callers (the serving layer maps
+// this to its 400 contract) must supply one of the two.
+var ErrNoTokenBound = errors.New("trainer: no positive token bound for the optimal-token search")
+
 // OptimalTokens runs the §2.1 rule on the policy-selected predictor's
 // curve, anchored at the record's observed token count: the smallest
-// allocation whose marginal gain per token falls below threshold.
+// allocation whose marginal gain per token falls below threshold. A
+// non-positive maxTokens falls back to the record's observed tokens;
+// when that is also non-positive the search has no cap and the call
+// fails with ErrNoTokenBound.
 func (p *Pipeline) OptimalTokens(rec *jobrepo.Record, maxTokens int, threshold float64) (int, error) {
+	if maxTokens <= 0 {
+		if rec.ObservedTokens <= 0 {
+			return 0, fmt.Errorf("%w (job %s: max tokens %d, observed tokens %d)",
+				ErrNoTokenBound, rec.Job.ID, maxTokens, rec.ObservedTokens)
+		}
+		maxTokens = rec.ObservedTokens
+	}
 	pr, err := p.policy().Select(p.Predictors())
 	if err != nil {
 		return 0, err
@@ -231,9 +250,6 @@ func (p *Pipeline) OptimalTokens(rec *jobrepo.Record, maxTokens int, threshold f
 	curve, err := model.CurveAt(pr, rec.Job, rec.ObservedTokens)
 	if err != nil {
 		return 0, err
-	}
-	if maxTokens <= 0 {
-		maxTokens = rec.ObservedTokens
 	}
 	return curve.OptimalTokens(1, maxTokens, threshold), nil
 }

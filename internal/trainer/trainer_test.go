@@ -175,6 +175,30 @@ func TestSkipFlags(t *testing.T) {
 	}
 }
 
+func TestOptimalTokensNoBound(t *testing.T) {
+	train, _ := dataset(t, 30, 0, 4)
+	cfg := fastConfig(5)
+	cfg.SkipNN = true
+	cfg.SkipGNN = true
+	p, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No caller cap and no observed tokens: the rule has no search bound
+	// and must refuse with the typed error, never silently recommend 1.
+	rec := &jobrepo.Record{Job: train[0].Job, ObservedTokens: 0}
+	if _, err := p.OptimalTokens(rec, 0, 0.01); !errors.Is(err, ErrNoTokenBound) {
+		t.Fatalf("OptimalTokens with no bound: %v, want ErrNoTokenBound", err)
+	}
+	if _, err := p.OptimalTokens(rec, -5, 0.01); !errors.Is(err, ErrNoTokenBound) {
+		t.Fatalf("OptimalTokens with negative cap: %v, want ErrNoTokenBound", err)
+	}
+	// A positive caller cap rescues a zero-observed record.
+	if opt, err := p.OptimalTokens(rec, 64, 0.01); err != nil || opt < 1 || opt > 64 {
+		t.Fatalf("OptimalTokens with explicit cap = %d, %v", opt, err)
+	}
+}
+
 func TestCurveRegion(t *testing.T) {
 	grid := CurveRegion(100)
 	if grid[0] != 60 || grid[len(grid)-1] != 140 {

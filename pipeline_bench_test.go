@@ -54,7 +54,9 @@ func BenchmarkPipelineIngest(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+			// Constant batch size; scripts/bench.sh derives jobs_per_sec
+			// from this and ns/op in one place.
+			b.ReportMetric(float64(len(jobs)), "jobs/op")
 		})
 	}
 }
@@ -74,7 +76,7 @@ func BenchmarkPipelineTrain(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+			b.ReportMetric(float64(len(recs)), "jobs/op")
 		})
 	}
 }
@@ -99,7 +101,7 @@ func BenchmarkPipelineEvaluate(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(float64(len(test))*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+			b.ReportMetric(float64(len(test)), "jobs/op")
 		})
 	}
 }
@@ -116,7 +118,7 @@ func BenchmarkPipelineFlight(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+			b.ReportMetric(float64(len(recs)), "jobs/op")
 		})
 	}
 }

@@ -1,69 +1,123 @@
 #!/bin/sh
-# Runs the per-stage pipeline benchmarks (pipeline_bench_test.go) at
-# Workers=1 and Workers=NumCPU and distills the result into
-# BENCH_pipeline.json: ns/op, jobs/sec and the speedup of each stage vs the
-# serial path, plus the end-to-end SmallConfig suite speedup the acceptance
-# criterion tracks. Re-run on a target machine to refresh the checked-in
-# numbers:
+# Runs the perf benchmark suites and distills their results into the
+# checked-in trajectory files future PRs regress against:
 #
-#	scripts/bench.sh                  # writes BENCH_pipeline.json
+#   BENCH_pipeline.json  per-stage offline pipeline numbers at Workers=1
+#                        and Workers=NumCPU (pipeline_bench_test.go), plus
+#                        the end-to-end SmallConfig suite speedup
+#   BENCH_serving.json   serving hot-path numbers (internal/serve
+#                        bench_test.go): cached vs uncached single-score
+#                        ns/op and allocs/op, scores/sec serially and at
+#                        GOMAXPROCS clients, p50/p99 latency through the
+#                        admission gate, and batch throughput
+#
+# Both files derive jobs/sec (scores/sec) in ONE place — the shared awk
+# program below — from ns/op and the benchmark's constant jobs/op metric,
+# so no benchmark computes throughput itself. Re-run on a target machine
+# to refresh the checked-in numbers:
+#
+#	scripts/bench.sh                  # writes both files
 #	BENCHTIME=5x scripts/bench.sh     # more repetitions per point
 set -eu
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-3x}"
-out="${OUT:-BENCH_pipeline.json}"
+pipeline_out="${OUT:-BENCH_pipeline.json}"
+serving_out="${SERVING_OUT:-BENCH_serving.json}"
 raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
+sraw=$(mktemp)
+trap 'rm -f "$raw" "$sraw"' EXIT
 
 echo "== go test -bench=BenchmarkPipeline -benchtime=$benchtime" >&2
 go test -run='^$' -bench='^BenchmarkPipeline' -benchtime="$benchtime" -count=1 . | tee "$raw" >&2
 
+echo "== go test ./internal/serve -bench='Benchmark(Score|Batch)' -benchtime=${SERVING_BENCHTIME:-100x}" >&2
+go test -run='^$' -bench='^Benchmark(Score|Batch)' -benchtime="${SERVING_BENCHTIME:-100x}" -count=1 ./internal/serve | tee "$sraw" >&2
+
 goversion=$(go env GOVERSION)
 cpus=$(go run ./scripts/ncpu 2>/dev/null || getconf _NPROCESSORS_ONLN)
 
-awk -v goversion="$goversion" -v cpus="$cpus" -v benchtime="$benchtime" '
-/^BenchmarkPipeline/ {
-	split($1, parts, "/")
-	stage = substr(parts[1], 18)
-	sub(/-[0-9]+$/, "", parts[2])   # strip -GOMAXPROCS suffix if attached
-	w = substr(parts[2], 9) + 0
-	ns = ""; jobs = ""
-	for (i = 3; i < NF; i++) {
-		if ($(i+1) == "ns/op")  ns = $i
-		if ($(i+1) == "jobs/s") jobs = $i
+# The single place throughput is derived: jobs/sec = jobs-per-op * 1e9 / ns-per-op.
+# GOMAXPROCS is read off the -N suffix go test stamps on every benchmark name.
+bench_awk='
+function jps(ns, jobsop) {
+	if (jobsop == "" || jobsop + 0 <= 0) jobsop = 1
+	return jobsop * 1e9 / ns
+}
+/^Benchmark/ {
+	name = $1
+	if (match(name, /-[0-9]+$/)) {
+		g = substr(name, RSTART + 1) + 0
+		if (g > gomaxprocs) gomaxprocs = g
+		name = substr(name, 1, RSTART - 1)
 	}
-	if (ns == "") next
-	key = stage SUBSEP w
-	if (!(key in nsof)) {
-		order[++n] = key
-		stageof[key] = stage; wof[key] = w
+	split("", met)
+	for (i = 3; i < NF; i++) met[$(i + 1)] = $i
+	if (!("ns/op" in met)) next
+	ns = met["ns/op"] + 0
+	if (mode == "pipeline") {
+		if (name !~ /^BenchmarkPipeline/) next
+		split(name, parts, "/")
+		stage = substr(parts[1], 18)
+		w = substr(parts[2], 9) + 0
+		key = stage SUBSEP w
+		if (!(key in nsof)) { order[++n] = key; stageof[key] = stage; wof[key] = w }
+		nsof[key] = ns
+		jobsop[key] = ("jobs/op" in met) ? met["jobs/op"] : ""
+		if (w == 1) serial[stage] = ns
+		if (!(stage in maxw) || w > maxw[stage]) { maxw[stage] = w; fastest[stage] = ns }
+	} else {
+		sub(/^Benchmark/, "", name)
+		if (!(name in nsof)) order[++n] = name
+		nsof[name] = ns
+		jobsop[name] = ("jobs/op" in met) ? met["jobs/op"] : ""
+		allocs[name] = ("allocs/op" in met) ? met["allocs/op"] : ""
+		bytes[name] = ("B/op" in met) ? met["B/op"] : ""
+		p50[name] = ("p50_us" in met) ? met["p50_us"] : ""
+		p99[name] = ("p99_us" in met) ? met["p99_us"] : ""
 	}
-	nsof[key] = ns; jobsof[key] = jobs
-	if (w == 1) serial[stage] = ns
-	if (!(stage in maxw) || w > maxw[stage]) { maxw[stage] = w; fastest[stage] = ns }
 }
 END {
+	if (gomaxprocs == 0) gomaxprocs = cpus
 	printf "{\n"
 	printf "  \"generated_by\": \"scripts/bench.sh\",\n"
 	printf "  \"go\": \"%s\",\n", goversion
 	printf "  \"cpus\": %d,\n", cpus
+	printf "  \"gomaxprocs\": %d,\n", gomaxprocs
 	printf "  \"benchtime\": \"%s\",\n", benchtime
-	printf "  \"stages\": [\n"
-	for (i = 1; i <= n; i++) {
-		key = order[i]; stage = stageof[key]; w = wof[key]
-		printf "    {\"stage\": \"%s\", \"workers\": %d, \"ns_per_op\": %.0f", stage, w, nsof[key]
-		if (jobsof[key] != "") printf ", \"jobs_per_sec\": %.0f", jobsof[key]
-		if (stage in serial && serial[stage] > 0)
-			printf ", \"speedup_vs_workers1\": %.2f", serial[stage] / nsof[key]
-		printf "}%s\n", (i < n ? "," : "")
+	if (mode == "pipeline") {
+		printf "  \"stages\": [\n"
+		for (i = 1; i <= n; i++) {
+			key = order[i]; stage = stageof[key]; w = wof[key]
+			printf "    {\"stage\": \"%s\", \"workers\": %d, \"ns_per_op\": %.0f", stage, w, nsof[key]
+			if (jobsop[key] != "") printf ", \"jobs_per_sec\": %.0f", jps(nsof[key], jobsop[key])
+			if (stage in serial && serial[stage] > 0)
+				printf ", \"speedup_vs_workers1\": %.2f", serial[stage] / nsof[key]
+			printf "}%s\n", (i < n ? "," : "")
+		}
+		printf "  ],\n"
+		e2e = 1.0
+		if (("Suite" in serial) && ("Suite" in fastest) && fastest["Suite"] > 0)
+			e2e = serial["Suite"] / fastest["Suite"]
+		printf "  \"end_to_end_suite_speedup\": %.2f\n", e2e
+	} else {
+		printf "  \"results\": [\n"
+		for (i = 1; i <= n; i++) {
+			name = order[i]
+			printf "    {\"name\": \"%s\", \"ns_per_op\": %.0f, \"scores_per_sec\": %.0f", name, nsof[name], jps(nsof[name], jobsop[name])
+			if (allocs[name] != "") printf ", \"allocs_per_op\": %.0f", allocs[name]
+			if (bytes[name] != "") printf ", \"bytes_per_op\": %.0f", bytes[name]
+			if (p50[name] != "") printf ", \"p50_us\": %.1f, \"p99_us\": %.1f", p50[name], p99[name]
+			printf "}%s\n", (i < n ? "," : "")
+		}
+		printf "  ]\n"
 	}
-	printf "  ],\n"
-	e2e = 1.0
-	if (("Suite" in serial) && ("Suite" in fastest) && fastest["Suite"] > 0)
-		e2e = serial["Suite"] / fastest["Suite"]
-	printf "  \"end_to_end_suite_speedup\": %.2f\n", e2e
 	printf "}\n"
-}' "$raw" > "$out"
+}'
 
-echo "wrote $out" >&2
+awk -v mode=pipeline -v goversion="$goversion" -v cpus="$cpus" -v benchtime="$benchtime" \
+	"$bench_awk" "$raw" > "$pipeline_out"
+awk -v mode=serving -v goversion="$goversion" -v cpus="$cpus" -v benchtime="${SERVING_BENCHTIME:-100x}" \
+	"$bench_awk" "$sraw" > "$serving_out"
+
+echo "wrote $pipeline_out and $serving_out" >&2

@@ -24,4 +24,6 @@ echo "== go test -race (parallel offline pipeline)"
 go test -race -shuffle=on ./internal/parallel/... ./internal/flight/... ./internal/trainer/... ./internal/experiments/...
 echo "== chaos harness (seeded fault injection, race detector)"
 go test -race -short -run 'TestChaos' -count=1 ./internal/harness/...
+echo "== serving bench smoke (1 iteration, harness bit-rot check)"
+go test -run='^$' -bench='^Benchmark(Score|Batch)' -benchtime=1x -count=1 ./internal/serve/
 echo "check: ok"
