@@ -6,11 +6,12 @@
 #   make check     full gate: fmt + vet + build + tests + race (run before merging)
 #   make coverage  coverage profile with the fail-below-baseline floor
 #   make chaos     deterministic chaos/soak harness under the race detector
+#   make autopilot-soak  continuous-learning loop under drift + faults (-race)
 #   make bench     benchmarks -> BENCH_pipeline.json + BENCH_serving.json
 
 GO ?= go
 
-.PHONY: build test race vet fmt check coverage chaos bench bench-smoke
+.PHONY: build test race vet fmt check coverage chaos autopilot-soak bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -26,7 +27,7 @@ vet:
 # ingest/augmentation/training/experiments across a worker pool. Keep all
 # of it provably race-clean (mirrors scripts/check.sh).
 race:
-	$(GO) test -race ./internal/serve/... ./internal/obs/... ./internal/registry/... ./internal/model/... ./internal/faults/... ./cmd/tasqd/...
+	$(GO) test -race ./internal/serve/... ./internal/obs/... ./internal/registry/... ./internal/model/... ./internal/faults/... ./internal/autopilot/... ./internal/drift/... ./cmd/tasqd/...
 	$(GO) test -race ./internal/parallel/... ./internal/flight/... ./internal/trainer/... ./internal/experiments/...
 
 # Seeded fault-injection chaos/soak runs over the serving stack (three
@@ -34,6 +35,16 @@ race:
 # storm within the CI budget while exercising every phase.
 chaos:
 	$(GO) test -race -short -run 'TestChaos' -count=1 ./internal/harness/...
+
+# Continuous-learning loop soak: seeded drift phases + registry read
+# faults through the full autopilot stack (telemetry HTTP in, reloader
+# syncs out), with convergence and quarantine invariants enforced.
+# -short stops after the first auto-promotion for the CI budget; the full
+# cycle (rollback + recovery + same-seed reproducibility) runs without
+# the race detector in `make test` and with it via
+# `go test -race -run 'TestAutopilotSoak' ./internal/harness/`.
+autopilot-soak:
+	$(GO) test -race -short -run 'TestAutopilotSoak' -count=1 ./internal/harness/...
 
 coverage:
 	scripts/coverage.sh
@@ -51,5 +62,5 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt: needs formatting:"; echo "$$out"; exit 1; fi
 
-check: fmt vet test race chaos bench-smoke
+check: fmt vet test race chaos autopilot-soak bench-smoke
 	@echo "check: ok"

@@ -11,6 +11,7 @@
 //	POST /v1/score/batch   concurrent batch scoring
 //	GET  /v1/models        the loaded pipeline's predictor set
 //	POST /v1/admin/reload  immediate registry sync (registry mode)
+//	POST /v1/telemetry     observed-run feedback ingest (-autopilot mode)
 //
 // Requests may name any listed predictor (trained models or the §6
 // baselines) in their `model` field; requests that name none follow the
@@ -25,6 +26,16 @@
 // fraction of live requests is mirrored through it and per-candidate
 // divergence metrics are exported on /metrics, so promotion (repinning or
 // unpinning) can be judged from real traffic.
+//
+// With -autopilot (registry mode only) the daemon closes the learning
+// loop on its own: POST /v1/telemetry feeds observed runs into a
+// crash-safe window store under <registry>/telemetry/, an online drift
+// detector watches the active model's error EWMA (-drift-threshold), a
+// drift alarm retrains over the window and publishes the result as a
+// shadow candidate, and once the candidate beats the active model over
+// -promote-min-n paired samples it is auto-pinned — with a guardrail
+// watching the next -guardrail-window observations that rolls back to the
+// previous generation exactly once on an error spike.
 //
 // Scoring endpoints sit behind a bounded admission gate (-max-inflight,
 // -max-queue, -queue-wait): beyond the concurrency limit requests wait in
@@ -45,6 +56,7 @@
 //
 //	tasqd -model model.gob -addr :8080 -drain 15s
 //	tasqd -registry models/ -poll 10s -shadow-sample 0.25 -addr :8080
+//	tasqd -registry models/ -autopilot -drift-threshold 0.3 -promote-min-n 32 -addr :8080
 //	tasqd -model model.gob -fault-profile 'seed=42,error=0.1,latency=0.2:5ms'  # dev chaos
 package main
 
@@ -58,9 +70,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"tasq/internal/autopilot"
+	"tasq/internal/drift"
 	"tasq/internal/faults"
 	"tasq/internal/model"
 	"tasq/internal/obs"
@@ -100,11 +115,20 @@ func run(ctx context.Context, args []string) error {
 	maxQueue := fs.Int("max-queue", -1, "max scoring requests queued behind the in-flight limit before shedding 429 (-1 = default)")
 	curveCache := fs.Int("curve-cache", serve.DefaultCurveCacheCap, "memoized-curve cache capacity per model generation (<= 0 disables)")
 	queueWait := fs.Duration("queue-wait", 0, "max time a scoring request may wait in the admission queue before shedding 504 (0 = default)")
+	autopilotOn := fs.Bool("autopilot", false, "close the learning loop: ingest /v1/telemetry, detect drift, retrain, auto-promote with a rollback guardrail (requires -registry)")
+	driftThreshold := fs.Float64("drift-threshold", drift.DefaultConfig().Threshold, "relative-error EWMA above which the drift alarm fires a retrain (autopilot mode)")
+	promoteMinN := fs.Int("promote-min-n", autopilot.DefaultMachineConfig().PromoteMinN, "paired error samples required before a candidate may be auto-promoted (autopilot mode)")
+	guardrailWindow := fs.Int("guardrail-window", autopilot.DefaultMachineConfig().GuardrailWindow, "post-promotion observations the rollback guardrail watches (autopilot mode)")
+	telemetryCap := fs.Int("telemetry-window", autopilot.DefaultWindowCap, "retraining window capacity in records (autopilot mode)")
+	trainSeed := fs.Int64("train-seed", 1, "deterministic seed for autopilot retrains")
 	faultProfile := fs.String("fault-profile", "", "DEV ONLY: inject deterministic faults, e.g. 'seed=42,latency=0.2:5ms,error=0.1,batch-item=0.05,registry-slow=0.1:10ms,registry-corrupt=0.02'")
 	policyFlag := fs.String("policy", "", "comma-separated predictor fallback chain for requests that name no model (e.g. 'GNN,NN'; empty = built-in NN,GNN,XGBoost-PL order)")
 	quiet := fs.Bool("quiet", false, "disable structured request logging")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *autopilotOn && *registryDir == "" {
+		return errors.New("-autopilot requires -registry (the loop retrains into and promotes within a registry)")
 	}
 	policy := model.ParsePolicy(*policyFlag)
 	opts := []serve.Option{serve.WithShadowSampleRate(*shadowSample)}
@@ -145,6 +169,26 @@ func run(ctx context.Context, args []string) error {
 			// and corrupt artifact reads on every registry sync.
 			reg.SetReadHook(inj.RegistryRead)
 		}
+		var ap *autopilot.Autopilot
+		if *autopilotOn {
+			// The window store lives beside the versions it feeds; the
+			// registry ignores non-v* entries, so it is GC-safe there.
+			win, err := autopilot.OpenWindow(
+				filepath.Join(*registryDir, "telemetry", "window.jsonl"), *telemetryCap)
+			if err != nil {
+				return err
+			}
+			defer win.Close()
+			apCfg := autopilot.DefaultConfig(*trainSeed)
+			apCfg.Drift.Threshold = *driftThreshold
+			apCfg.Machine.PromoteMinN = *promoteMinN
+			apCfg.Machine.GuardrailWindow = *guardrailWindow
+			if !*quiet {
+				apCfg.Logf = log.Printf
+			}
+			ap = autopilot.New(reg, win, apCfg)
+			opts = append(opts, serve.WithTelemetry(ap))
+		}
 		srv, err = serve.NewUnloadedServer(opts...)
 		if err != nil {
 			return err
@@ -156,6 +200,13 @@ func run(ctx context.Context, args []string) error {
 		}
 		if err := reloader.Sync(); err != nil {
 			return fmt.Errorf("initial registry sync: %w", err)
+		}
+		if ap != nil {
+			// Loop decisions (candidate publish, promotion pin, rollback)
+			// surface in the serving layer immediately, not at the next poll.
+			ap.SyncFn = reloader.Sync
+			ap.BindMetrics(srv.Registry())
+			ap.Start(ctx)
 		}
 		go reloader.Run(ctx)
 		hup := make(chan os.Signal, 1)
@@ -177,6 +228,9 @@ func run(ctx context.Context, args []string) error {
 			}
 		}()
 		source = fmt.Sprintf("registry %s (v%d)", *registryDir, srv.ActiveVersion())
+		if ap != nil {
+			source += " with autopilot"
+		}
 	} else {
 		p, err := trainer.LoadPipelineFile(*modelPath)
 		if err != nil {

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"tasq/internal/autopilot"
 	"tasq/internal/jobrepo"
 	"tasq/internal/model"
 	"tasq/internal/registry"
@@ -566,5 +567,129 @@ func TestPolicyFlagAndModelsEndpoint(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("daemon did not exit")
+	}
+}
+
+// TestAutopilotFlagRequiresRegistry pins the startup contract: the
+// learning loop cannot run without a registry to retrain into.
+func TestAutopilotFlagRequiresRegistry(t *testing.T) {
+	modelPath := trainModel(t)
+	err := run(context.Background(), []string{
+		"-model", modelPath, "-autopilot", "-addr", "127.0.0.1:0", "-quiet",
+	})
+	if err == nil || !strings.Contains(err.Error(), "-registry") {
+		t.Fatalf("-autopilot without -registry: %v, want a registry error", err)
+	}
+}
+
+// TestAutopilotModeWiring boots tasqd with -autopilot over a registry and
+// proves the loop is live: POST /v1/telemetry is accepted, the observed
+// runs reach the drift detector (visible on /metrics), the window store
+// persists them under <registry>/telemetry/, and the active version gets
+// auto-pinned (the pin-before-candidate invariant).
+func TestAutopilotModeWiring(t *testing.T) {
+	g := workload.New(workload.TestConfig(19))
+	repo := jobrepo.New()
+	var ex scopesim.Executor
+	if err := repo.Ingest(g.Workload(40), &ex); err != nil {
+		t.Fatal(err)
+	}
+	cfg := trainer.DefaultConfig(19)
+	cfg.XGB.NumTrees = 10
+	cfg.SkipNN = true
+	cfg.SkipGNN = true
+	p, err := trainer.Train(repo.All(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := filepath.Join(t.TempDir(), "models")
+	reg, err := registry.Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.PublishPipeline(p, registry.Manifest{Notes: "v1"}); err != nil {
+		t.Fatal(err)
+	}
+
+	addrCh := make(chan net.Addr, 1)
+	testOnListen = func(a net.Addr) { addrCh <- a }
+	defer func() { testOnListen = nil }()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-registry", store,
+			"-autopilot",
+			"-drift-threshold", "0.4",
+			"-promote-min-n", "8",
+			"-guardrail-window", "16",
+			"-poll", "1h",
+			"-addr", "127.0.0.1:0",
+			"-quiet",
+		})
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for listener")
+	}
+	client := serve.NewClient("http://" + addr.String())
+
+	out, err := client.Telemetry(&serve.TelemetryRequest{Records: repo.All()[:10]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Accepted != 10 || out.Rejected != 0 {
+		t.Fatalf("telemetry outcome %+v, want 10 accepted", out)
+	}
+	// The ingest queue drains asynchronously: wait for the drift detector
+	// to fold all 10 samples.
+	folded := false
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		m, err := client.Metrics()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(m, "tasq_drift_samples_total 10") {
+			folded = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !folded {
+		t.Fatal("telemetry never reached the drift detector")
+	}
+	// The loop pinned the generation it serves, and the window persisted.
+	if pinned, err := reg.Pinned(); err != nil || pinned != 1 {
+		t.Fatalf("pinned v%d (%v), want v1 auto-pinned", pinned, err)
+	}
+	winReg, err := registry.Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs, err := winReg.Versions(); err != nil || len(vs) != 1 {
+		t.Fatalf("telemetry dir leaked into registry versions: %v (%v)", vs, err)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("daemon did not exit after context cancel")
+	}
+	// The window store survived the daemon: a fresh open sees the records.
+	win, err := autopilot.OpenWindow(filepath.Join(store, "telemetry", "window.jsonl"), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer win.Close()
+	if win.Len() != 10 {
+		t.Fatalf("persisted window holds %d records, want 10", win.Len())
 	}
 }

@@ -1,0 +1,185 @@
+package drift
+
+import (
+	"math"
+	"testing"
+
+	"tasq/internal/stats"
+)
+
+func TestRelAbsError(t *testing.T) {
+	cases := []struct {
+		pred, obs, want float64
+	}{
+		{100, 100, 0},
+		{150, 100, 0.5},
+		{50, 100, 0.5},
+		{0, 100, 1},
+		{100, -50, 3}, // |100-(-50)|/|-50|
+	}
+	for _, c := range cases {
+		if got := RelAbsError(c.pred, c.obs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("RelAbsError(%v, %v) = %v, want %v", c.pred, c.obs, got, c.want)
+		}
+	}
+	if got := RelAbsError(10, 0); !math.IsNaN(got) {
+		t.Errorf("RelAbsError with zero observed = %v, want NaN", got)
+	}
+}
+
+func TestSeriesFold(t *testing.T) {
+	s := NewSeries(0.5)
+	if s.Value() != 0 || s.N() != 0 {
+		t.Fatal("fresh series not zero")
+	}
+	// First observation seeds directly.
+	if got := s.Observe(0.4); got != 0.4 {
+		t.Fatalf("first observe = %v, want 0.4", got)
+	}
+	// Second folds with alpha 0.5: 0.4 + 0.5*(0.8-0.4) = 0.6.
+	if got := s.Observe(0.8); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("second observe = %v, want 0.6", got)
+	}
+	if s.N() != 2 {
+		t.Fatalf("N = %d, want 2", s.N())
+	}
+	// NaN and negatives are ignored.
+	if got := s.Observe(math.NaN()); got != s.Value() || s.N() != 2 {
+		t.Fatal("NaN observation folded")
+	}
+	if got := s.Observe(-1); got != s.Value() || s.N() != 2 {
+		t.Fatal("negative observation folded")
+	}
+	s.Reset()
+	if s.Value() != 0 || s.N() != 0 {
+		t.Fatal("reset did not clear the series")
+	}
+}
+
+func TestSeriesDefaultAlpha(t *testing.T) {
+	for _, bad := range []float64{0, -0.2, 1.5} {
+		s := NewSeries(bad)
+		if s.alpha != DefaultAlpha {
+			t.Errorf("alpha %v accepted, want fallback to %v", bad, DefaultAlpha)
+		}
+	}
+}
+
+func TestDetectorAlarm(t *testing.T) {
+	d := NewDetector(Config{Alpha: 1, Threshold: 0.3, MinSamples: 5})
+	// Four high-error observations: below MinSamples, never alarmed.
+	for i := 0; i < 4; i++ {
+		obs := d.Observe("xgboost-pl", 200, 100)
+		if obs.Alarm {
+			t.Fatalf("alarm at n=%d, below MinSamples", obs.N)
+		}
+	}
+	if d.Alarmed("xgboost-pl") {
+		t.Fatal("Alarmed before MinSamples")
+	}
+	// Fifth pushes past MinSamples with EWMA 1.0 > 0.3.
+	obs := d.Observe("xgboost-pl", 200, 100)
+	if !obs.Alarm || obs.N != 5 {
+		t.Fatalf("no alarm at n=%d ewma=%v", obs.N, obs.EWMA)
+	}
+	if !d.Alarmed("xgboost-pl") {
+		t.Fatal("Alarmed disagrees with Observe")
+	}
+	// An unrelated key stays independent and quiet.
+	if d.Alarmed("nn") {
+		t.Fatal("unobserved key alarmed")
+	}
+	for i := 0; i < 10; i++ {
+		if obs := d.Observe("nn", 101, 100); obs.Alarm {
+			t.Fatal("accurate predictions alarmed")
+		}
+	}
+	// Reset clears the alarm state.
+	d.Reset()
+	if d.Alarmed("xgboost-pl") {
+		t.Fatal("alarm survived Reset")
+	}
+}
+
+func TestDetectorSkipsZeroObserved(t *testing.T) {
+	d := NewDetector(Config{})
+	obs := d.Observe("m", 10, 0)
+	if !obs.Skipped {
+		t.Fatal("zero observed not skipped")
+	}
+	if got := d.Snapshot()["m"]; got.N != 0 {
+		t.Fatalf("skipped sample folded: %+v", got)
+	}
+}
+
+func TestDetectorDefaults(t *testing.T) {
+	d := NewDetector(Config{})
+	def := DefaultConfig()
+	if d.Config() != def {
+		t.Fatalf("zero config → %+v, want %+v", d.Config(), def)
+	}
+}
+
+func TestDetectorSnapshotAndKeys(t *testing.T) {
+	d := NewDetector(Config{Alpha: 1, Threshold: 0.5, MinSamples: 1})
+	d.Observe("b", 150, 100)
+	d.Observe("a", 100, 100)
+	keys := d.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("keys = %v", keys)
+	}
+	snap := d.Snapshot()
+	if snap["b"].EWMA != 0.5 || snap["b"].N != 1 {
+		t.Fatalf("snapshot b = %+v", snap["b"])
+	}
+}
+
+// TestDetectorDeterministic proves the streaming fold is a pure function
+// of the observation sequence — the property the seeded autopilot runs
+// lean on.
+func TestDetectorDeterministic(t *testing.T) {
+	run := func() []Observation {
+		d := NewDetector(Config{Alpha: 0.2, Threshold: 0.4, MinSamples: 3})
+		var out []Observation
+		for i := 0; i < 50; i++ {
+			pred := 100 + float64(i%7)*13
+			obs := 100 + float64(i%5)*9
+			out = append(out, d.Observe("m", pred, obs))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("observation %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestAccumulatorMatchesStats pins the offline view to the exact stats
+// functions the experiment tables have always used — the byte-identical
+// report guarantee of the refactor.
+func TestAccumulatorMatchesStats(t *testing.T) {
+	pred := []float64{110, 95, 300, 42}
+	truth := []float64{100, 100, 250, 40}
+	var acc Accumulator
+	for i := range pred {
+		acc.Add(pred[i], truth[i])
+	}
+	if acc.N() != len(pred) {
+		t.Fatalf("N = %d", acc.N())
+	}
+	if got, want := acc.MedianAPE(), stats.MedianAPE(pred, truth); got != want {
+		t.Fatalf("MedianAPE = %v, want %v", got, want)
+	}
+	if got, want := acc.MeanAPE(), stats.MeanAPE(pred, truth); got != want {
+		t.Fatalf("MeanAPE = %v, want %v", got, want)
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var acc Accumulator
+	if acc.MedianAPE() != 0 || acc.MeanAPE() != 0 || acc.N() != 0 {
+		t.Fatal("empty accumulator not zero")
+	}
+}

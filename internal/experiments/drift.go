@@ -5,9 +5,9 @@ import (
 	"fmt"
 
 	"tasq/internal/arepas"
+	"tasq/internal/drift"
 	"tasq/internal/jobrepo"
 	"tasq/internal/scopesim"
-	"tasq/internal/stats"
 	"tasq/internal/workload"
 )
 
@@ -79,8 +79,11 @@ func AblationInputDrift(s *Suite) (*InputDriftResult, error) {
 
 // driftEval compares both predictors on recurring jobs of one day. Ground
 // truth comes from the deterministic executor at the requested tokens.
+// The error arithmetic lives in the shared internal/drift package — the
+// same implementation the online autopilot detector uses — so the offline
+// tables and the live alarms can never disagree about what "drift" means.
 func (s *Suite) driftEval(day string, jobs []*scopesim.Job, prior map[string]*jobrepo.Record) (DriftRow, error) {
-	var stale, model, truth []float64
+	var stale, model drift.Accumulator
 	row := DriftRow{Day: day}
 	for _, job := range jobs {
 		prev, ok := prior[job.Template]
@@ -98,16 +101,16 @@ func (s *Suite) driftEval(day string, jobs []*scopesim.Job, prior map[string]*jo
 		if err != nil {
 			return row, err
 		}
-		stale = append(stale, float64(staleRT))
-		model = append(model, s.Pipeline.XGB.PredictRuntime(job, job.RequestedTokens))
-		truth = append(truth, float64(run.RuntimeSeconds))
+		truth := float64(run.RuntimeSeconds)
+		stale.Add(float64(staleRT), truth)
+		model.Add(s.Pipeline.XGB.PredictRuntime(job, job.RequestedTokens), truth)
 		row.Jobs++
 	}
 	if row.Jobs == 0 {
 		return row, errors.New("experiments: no recurring jobs for drift evaluation")
 	}
-	row.StaleSkylineMedAE = stats.MedianAPE(stale, truth)
-	row.ModelMedAE = stats.MedianAPE(model, truth)
+	row.StaleSkylineMedAE = stale.MedianAPE()
+	row.ModelMedAE = model.MedianAPE()
 	return row, nil
 }
 

@@ -114,6 +114,21 @@ const (
 	MetricCurveCacheSize      = "tasq_curve_cache_size"
 )
 
+// Metric names of the continuous-learning loop: telemetry ingest on the
+// serving side, the online drift detector, and the autopilot's promotion
+// decisions. The drift EWMA gauge is exported in parts-per-million
+// (gauges are integers): 500000 = a smoothed 50% relative error.
+const (
+	MetricTelemetryRecords    = "tasq_telemetry_records_total"
+	MetricDriftEWMA           = "tasq_drift_rel_err_ewma_ppm"
+	MetricDriftSamples        = "tasq_drift_samples_total"
+	MetricDriftAlarms         = "tasq_drift_alarms_total"
+	MetricAutopilotRetrains   = "tasq_autopilot_retrain_total"
+	MetricAutopilotPromotions = "tasq_autopilot_promotion_total"
+	MetricAutopilotRollbacks  = "tasq_autopilot_rollback_total"
+	MetricAutopilotRejects    = "tasq_autopilot_reject_total"
+)
+
 // statusClass buckets a status code into "1xx"…"5xx".
 func statusClass(code int) string {
 	if code < 100 || code > 599 {

@@ -94,6 +94,11 @@ type Manifest struct {
 	// can be judged from the manifest.
 	EvalMetrics map[string]float64 `json:"eval_metrics,omitempty"`
 	Notes       string             `json:"notes,omitempty"`
+	// Annotations are mutable operator/autopilot key/value notes (e.g.
+	// promotion and rollback history) merged in after publish via
+	// Annotate. They are the only mutable part of a manifest; the payload
+	// and its checksum never change.
+	Annotations map[string]string `json:"annotations,omitempty"`
 }
 
 // ReadHook intercepts payload bytes between the filesystem read and the
@@ -388,9 +393,11 @@ func (r *Registry) Pinned() (int, error) {
 }
 
 // GC deletes all but the newest keep versions. The pinned version and the
-// newest version are always retained, whatever keep says. Stale temp
-// directories from crashed publishes are swept too. Returns the versions
-// removed.
+// newest version are always retained, whatever keep says, as are the
+// versions named by a live promotion record — in particular Previous, the
+// rollback target, which must stay collectible-proof for as long as the
+// guardrail might re-pin it. Stale temp directories from crashed
+// publishes are swept too. Returns the versions removed.
 func (r *Registry) GC(keep int) ([]int, error) {
 	if keep < 1 {
 		keep = 1
@@ -405,9 +412,16 @@ func (r *Registry) GC(keep int) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
+	protected := map[int]bool{pinned: true}
+	if promo, err := r.Promotion(); err == nil {
+		protected[promo.Version] = true
+		protected[promo.Previous] = true
+	} else if !errors.Is(err, ErrNoPromotion) {
+		return nil, err
+	}
 	var removed []int
 	for i, v := range vs {
-		if len(vs)-i <= keep || v == pinned {
+		if len(vs)-i <= keep || protected[v] {
 			continue
 		}
 		if err := os.RemoveAll(filepath.Join(r.root, versionDir(v))); err != nil {

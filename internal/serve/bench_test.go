@@ -16,11 +16,14 @@ import (
 	"sort"
 	"testing"
 	"time"
+
+	"tasq/internal/jobrepo"
 )
 
 type benchFixture struct {
 	srv      *Server
 	ts       *httptest.Server
+	recs     []*jobrepo.Record
 	reqs     []*ScoreRequest
 	payloads [][]byte
 }
@@ -34,7 +37,7 @@ func newBenchFixture(b *testing.B, opts ...Option) *benchFixture {
 	}
 	ts := httptest.NewServer(srv.Handler())
 	b.Cleanup(ts.Close)
-	f := &benchFixture{srv: srv, ts: ts}
+	f := &benchFixture{srv: srv, ts: ts, recs: recs}
 	for _, rec := range recs {
 		req := &ScoreRequest{Job: rec.Job}
 		payload, err := json.Marshal(req)
@@ -177,4 +180,60 @@ func BenchmarkBatchScore(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(len(batch.Items)), "jobs/op")
+}
+
+// benchDiscardSink accepts every telemetry record, isolating the ingest
+// plumbing (HTTP decode, validation, gate) from any particular consumer.
+type benchDiscardSink struct{}
+
+func (benchDiscardSink) IngestTelemetry(recs []*jobrepo.Record) (int, error) {
+	return len(recs), nil
+}
+
+// BenchmarkScoreCachedTelemetryIngest guards the autopilot's zero-cost
+// promise on the hot path: the memoized score path is timed while a
+// background producer streams observed-run batches through POST
+// /v1/telemetry at a steady telemetry-like rate. Ingest shares no lock
+// with scoring, so cached ns/op and allocs/op must stay in line with
+// ScoreSingle/cached in BENCH_serving.json.
+func BenchmarkScoreCachedTelemetryIngest(b *testing.B) {
+	f := newBenchFixture(b, WithTelemetry(benchDiscardSink{}))
+	f.warm(b)
+	payload, err := json.Marshal(&TelemetryRequest{Records: f.recs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Post(f.ts.URL+"/v1/telemetry", "application/json", bytes.NewReader(payload))
+			if err != nil {
+				return // server torn down at benchmark end
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			// Jobs complete orders of magnitude slower than they score;
+			// a batch every 500µs is already an aggressive feedback rate.
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := f.srv.score(f.reqs[i%len(f.reqs)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		putScoreResponse(resp)
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
 }

@@ -276,6 +276,13 @@ type Server struct {
 	// against the model registry immediately.
 	reloadFn atomic.Pointer[func() error]
 
+	// telemetry, when set, receives observed-run records from POST
+	// /v1/telemetry — the feedback half of the learning loop.
+	telemetry         TelemetrySink
+	telemetryAccepted *obs.Counter
+	telemetryRejected *obs.Counter
+	telemetryShed     *obs.Counter
+
 	scoreOK       *obs.Counter
 	scoreRejected *obs.Counter
 	scoreFailed   *obs.Counter
@@ -423,6 +430,7 @@ func newServer(p scorer, opts ...Option) (*Server, error) {
 	}
 	s.gate = newGate(s.maxInFlight, s.maxQueue, s.queueWait, s.retryAfter, s.reg)
 	s.cacheMet = newCacheMetrics(s.reg)
+	s.initTelemetryMetrics()
 
 	s.reg.SetHelp("tasq_score_jobs_total", "Jobs scored, by outcome (ok, rejected, failed).")
 	s.scoreOK = s.reg.Counter("tasq_score_jobs_total", "outcome", "ok")
@@ -443,6 +451,7 @@ func newServer(p scorer, opts ...Option) (*Server, error) {
 	// metrics and admin must keep answering while the service sheds load.
 	s.route("/v1/score", s.gated(http.HandlerFunc(s.handleScore)))
 	s.route("/v1/score/batch", s.gated(http.HandlerFunc(s.handleScoreBatch)))
+	s.route("/v1/telemetry", s.gated(http.HandlerFunc(s.handleTelemetry)))
 	s.route("/v1/models", http.HandlerFunc(s.handleModels))
 	s.route("/v1/admin/reload", http.HandlerFunc(s.handleAdminReload))
 	s.mux.Handle("/metrics", s.reg.Handler())

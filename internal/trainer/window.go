@@ -1,0 +1,42 @@
+package trainer
+
+import (
+	"fmt"
+
+	"tasq/internal/jobrepo"
+)
+
+// MinWindowRecords is the smallest telemetry window TrainWindow accepts:
+// below it the PCC models would be fit to noise.
+const MinWindowRecords = 8
+
+// TrainWindow is the autopilot's retraining entry point: it trains over a
+// telemetry window in which the same job may have been observed more than
+// once (re-submitted telemetry, recurring runs re-ingested). Records are
+// deduplicated by job ID with the newest observation winning — the window
+// is append-only, so a later record is the fresher run — while keeping
+// the window's stable order, so the training set (and therefore the
+// trained pipeline, under a fixed seed) is a deterministic function of
+// the window contents.
+func TrainWindow(recs []*jobrepo.Record, cfg Config) (*Pipeline, error) {
+	byID := make(map[string]int, len(recs))
+	out := make([]*jobrepo.Record, 0, len(recs))
+	for _, rec := range recs {
+		if rec == nil || rec.Job == nil {
+			continue
+		}
+		if err := rec.Validate(); err != nil {
+			return nil, fmt.Errorf("trainer: window: %w", err)
+		}
+		if i, ok := byID[rec.Job.ID]; ok {
+			out[i] = rec // newest observation of a re-seen job wins
+			continue
+		}
+		byID[rec.Job.ID] = len(out)
+		out = append(out, rec)
+	}
+	if len(out) < MinWindowRecords {
+		return nil, fmt.Errorf("trainer: window holds %d distinct jobs, need at least %d", len(out), MinWindowRecords)
+	}
+	return Train(out, cfg)
+}

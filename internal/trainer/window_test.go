@@ -1,0 +1,92 @@
+package trainer
+
+import (
+	"strings"
+	"testing"
+
+	"tasq/internal/jobrepo"
+	"tasq/internal/scopesim"
+	"tasq/internal/workload"
+)
+
+func windowRecords(t *testing.T, seed int64, n int) []*jobrepo.Record {
+	t.Helper()
+	g := workload.New(workload.TestConfig(seed))
+	repo := jobrepo.New()
+	var ex scopesim.Executor
+	if err := repo.Ingest(g.Workload(n), &ex); err != nil {
+		t.Fatal(err)
+	}
+	return repo.All()
+}
+
+func windowConfig(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.XGB.NumTrees = 8
+	cfg.SkipNN = true
+	cfg.SkipGNN = true
+	return cfg
+}
+
+func TestTrainWindowDedupesNewestWins(t *testing.T) {
+	recs := windowRecords(t, 61, 12)
+	// Re-observe the first job with different telemetry (as re-submitted
+	// or re-run telemetry would): the window sees it twice.
+	older := recs[0]
+	newer := *older
+	newer.ObservedTokens = older.ObservedTokens + 5
+	window := append(append([]*jobrepo.Record{}, recs...), &newer)
+
+	p, err := TrainWindow(window, windowConfig(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil || p.XGB == nil {
+		t.Fatal("no pipeline trained")
+	}
+	// The deduplicated set must match training directly on the 12 records
+	// with the newest duplicate substituted at its first-seen position —
+	// prediction-identical pipelines.
+	direct := append([]*jobrepo.Record{}, recs...)
+	direct[0] = &newer
+	q, err := Train(direct, windowConfig(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		a := p.XGB.PredictRuntime(rec.Job, rec.ObservedTokens)
+		b := q.XGB.PredictRuntime(rec.Job, rec.ObservedTokens)
+		if a != b {
+			t.Fatalf("dedupe changed the model: %v != %v on %s", a, b, rec.Job.ID)
+		}
+	}
+}
+
+func TestTrainWindowTooSmall(t *testing.T) {
+	recs := windowRecords(t, 67, MinWindowRecords-1)
+	if _, err := TrainWindow(recs, windowConfig(67)); err == nil ||
+		!strings.Contains(err.Error(), "distinct jobs") {
+		t.Fatalf("small window error: %v", err)
+	}
+	// Duplicates do not count toward the minimum.
+	dup := make([]*jobrepo.Record, 0, 2*len(recs))
+	dup = append(dup, recs...)
+	dup = append(dup, recs...)
+	if _, err := TrainWindow(dup, windowConfig(67)); err == nil {
+		t.Fatal("duplicated small window accepted")
+	}
+}
+
+func TestTrainWindowRejectsInvalid(t *testing.T) {
+	recs := windowRecords(t, 71, MinWindowRecords)
+	recs[3] = &jobrepo.Record{Job: recs[3].Job} // zero tokens: invalid
+	if _, err := TrainWindow(recs, windowConfig(71)); err == nil {
+		t.Fatal("invalid record accepted")
+	}
+	// Nil entries are skipped, not fatal.
+	recs = windowRecords(t, 71, MinWindowRecords+1)
+	recs[2] = nil
+	if _, err := TrainWindow(recs, windowConfig(71)); err != nil {
+		t.Fatalf("nil entry: %v", err)
+	}
+}
