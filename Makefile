@@ -7,11 +7,12 @@
 #   make coverage  coverage profile with the fail-below-baseline floor
 #   make chaos     deterministic chaos/soak harness under the race detector
 #   make autopilot-soak  continuous-learning loop under drift + faults (-race)
+#   make cluster-soak    sharded-fleet chaos suite: kill/partition/restart (-race)
 #   make bench     benchmarks -> BENCH_pipeline.json + BENCH_serving.json
 
 GO ?= go
 
-.PHONY: build test race vet fmt check coverage chaos autopilot-soak bench bench-smoke
+.PHONY: build test race vet fmt check coverage chaos autopilot-soak cluster-soak bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -27,7 +28,7 @@ vet:
 # ingest/augmentation/training/experiments across a worker pool. Keep all
 # of it provably race-clean (mirrors scripts/check.sh).
 race:
-	$(GO) test -race ./internal/serve/... ./internal/obs/... ./internal/registry/... ./internal/model/... ./internal/faults/... ./internal/autopilot/... ./internal/drift/... ./cmd/tasqd/...
+	$(GO) test -race ./internal/serve/... ./internal/obs/... ./internal/registry/... ./internal/model/... ./internal/faults/... ./internal/autopilot/... ./internal/drift/... ./internal/cluster/... ./cmd/tasqd/...
 	$(GO) test -race ./internal/parallel/... ./internal/flight/... ./internal/trainer/... ./internal/experiments/...
 
 # Seeded fault-injection chaos/soak runs over the serving stack (three
@@ -46,6 +47,14 @@ chaos:
 autopilot-soak:
 	$(GO) test -race -short -run 'TestAutopilotSoak' -count=1 ./internal/harness/...
 
+# Sharded-fleet chaos suite: three fixed seeds of kill/partition/restart
+# storms over a 3-replica fleet plus a same-seed reproducibility run,
+# asserting no lost scores, exact cross-member counter reconciliation,
+# minimal key movement, and a mid-storm rolling promotion wave. -short
+# trims the step count for the CI budget.
+cluster-soak:
+	$(GO) test -race -short -run 'TestFleet(Chaos|Reproducibility)' -count=1 ./internal/harness/...
+
 coverage:
 	scripts/coverage.sh
 
@@ -56,11 +65,11 @@ bench:
 # harness itself without paying for real measurement (the pipeline benches
 # train full models and stay out of the per-merge gate).
 bench-smoke:
-	$(GO) test -run='^$$' -bench='^Benchmark(Score|Batch)' -benchtime=1x -count=1 ./internal/serve/
+	$(GO) test -run='^$$' -bench='^Benchmark(Score|Batch)' -benchtime=1x -count=1 ./internal/serve/ ./internal/cluster/
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt: needs formatting:"; echo "$$out"; exit 1; fi
 
-check: fmt vet test race chaos autopilot-soak bench-smoke
+check: fmt vet test race chaos autopilot-soak cluster-soak bench-smoke
 	@echo "check: ok"

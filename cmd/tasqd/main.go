@@ -10,6 +10,7 @@
 //	POST /v1/score         job scoring (see internal/serve for the schema)
 //	POST /v1/score/batch   concurrent batch scoring
 //	GET  /v1/models        the loaded pipeline's predictor set
+//	GET  /v1/cluster       fleet identity and serving state (-cluster-id mode)
 //	POST /v1/admin/reload  immediate registry sync (registry mode)
 //	POST /v1/telemetry     observed-run feedback ingest (-autopilot mode)
 //
@@ -17,6 +18,13 @@
 // baselines) in their `model` field; requests that name none follow the
 // pipeline's fallback policy, overridable with -policy (applied to every
 // hot-swapped generation in registry mode).
+//
+// Several tasqd replicas sharing one filesystem registry form a fleet:
+// give each a -cluster-id (and optionally -peers, the other members'
+// base URLs) and front them with the client-side consistent-hash
+// balancer (internal/serve.ClusterClient), which keeps each shard's
+// curve caches hot and fails over on member outages. GET /v1/cluster
+// reports each member's identity, peers and serving versions.
 //
 // In registry mode the daemon never restarts to pick up a new model: it
 // serves the pinned version (or the latest when nothing is pinned), polls
@@ -71,6 +79,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -87,6 +96,18 @@ import (
 // testOnListen, when set, receives the bound listener address; tests use
 // it to talk to a server started on port 0.
 var testOnListen func(net.Addr)
+
+// splitPeers parses the -peers list, dropping empty entries so trailing
+// commas are harmless.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -123,12 +144,18 @@ func run(ctx context.Context, args []string) error {
 	trainSeed := fs.Int64("train-seed", 1, "deterministic seed for autopilot retrains")
 	faultProfile := fs.String("fault-profile", "", "DEV ONLY: inject deterministic faults, e.g. 'seed=42,latency=0.2:5ms,error=0.1,batch-item=0.05,registry-slow=0.1:10ms,registry-corrupt=0.02'")
 	policyFlag := fs.String("policy", "", "comma-separated predictor fallback chain for requests that name no model (e.g. 'GNN,NN'; empty = built-in NN,GNN,XGBoost-PL order)")
+	clusterID := fs.String("cluster-id", "", "fleet member ID for cluster mode; enables GET /v1/cluster")
+	peersFlag := fs.String("peers", "", "comma-separated base URLs of the other fleet members (requires -cluster-id)")
 	quiet := fs.Bool("quiet", false, "disable structured request logging")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *autopilotOn && *registryDir == "" {
 		return errors.New("-autopilot requires -registry (the loop retrains into and promotes within a registry)")
+	}
+	peers := splitPeers(*peersFlag)
+	if len(peers) > 0 && *clusterID == "" {
+		return errors.New("-peers requires -cluster-id (a member must know its own ring key)")
 	}
 	policy := model.ParsePolicy(*policyFlag)
 	opts := []serve.Option{serve.WithShadowSampleRate(*shadowSample)}
@@ -140,6 +167,9 @@ func run(ctx context.Context, args []string) error {
 	}
 	opts = append(opts, serve.WithAdmission(*maxInFlight, *maxQueue, *queueWait))
 	opts = append(opts, serve.WithCurveCache(*curveCache))
+	if *clusterID != "" {
+		opts = append(opts, serve.WithClusterInfo(*clusterID, peers))
+	}
 
 	var inj *faults.Injector
 	if *faultProfile != "" {

@@ -1,0 +1,92 @@
+package cluster
+
+// Fleet-throughput benchmark: scripts/bench.sh runs this alongside the
+// internal/serve suite into BENCH_serving.json. It proves the cluster
+// layer preserves the memoized hot path — routing a job over the real
+// consistent-hash ring and scoring it on its owner's curve cache must
+// sustain the same scores/sec as a single member's cached path, because
+// key affinity means every member only ever sees its own shard's keys.
+
+import (
+	"fmt"
+	"testing"
+
+	"tasq/internal/jobrepo"
+	"tasq/internal/scopesim"
+	"tasq/internal/serve"
+	"tasq/internal/trainer"
+	"tasq/internal/workload"
+)
+
+// benchPipeline mirrors internal/serve's cached-bench fixture (same
+// workload and training seeds), so the fleet number in
+// BENCH_serving.json is directly comparable to ScoreSingle/cached: the
+// delta between them is the routing layer, not a different job mix.
+func benchPipeline(b *testing.B) (*trainer.Pipeline, []*jobrepo.Record) {
+	b.Helper()
+	g := workload.New(workload.TestConfig(41))
+	repo := jobrepo.New()
+	var ex scopesim.Executor
+	if err := repo.Ingest(g.Workload(30), &ex); err != nil {
+		b.Fatal(err)
+	}
+	cfg := trainer.DefaultConfig(42)
+	cfg.XGB.NumTrees = 8
+	cfg.SkipNN = true
+	cfg.SkipGNN = true
+	p, err := trainer.Train(repo.All(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, repo.All()
+}
+
+// BenchmarkScoreFleetCached routes each job by its curve-cache key on a
+// 3-member ring and scores it in process on the owning member's warmed
+// cache — the steady state of a sharded tasqd fleet.
+func BenchmarkScoreFleetCached(b *testing.B) {
+	p, recs := benchPipeline(b)
+	ring := NewRing(0)
+	members := map[string]*serve.Server{}
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("r%d", i)
+		srv, err := serve.NewServer(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ring.Add(id)
+		members[id] = srv
+	}
+	// Routing keys are invariant per job; the balancer derives them per
+	// request into a pooled buffer, so precomputing them here keeps the
+	// measurement on routing + scoring.
+	keys := make([][]byte, len(recs))
+	reqs := make([]*serve.ScoreRequest, len(recs))
+	for i, rec := range recs {
+		keys[i] = serve.RouteKey("", rec.Job)
+		reqs[i] = &serve.ScoreRequest{Job: rec.Job}
+	}
+	// Warm every member's cache for exactly its own shard.
+	for i := range reqs {
+		owner, ok := ring.Pick(keys[i])
+		if !ok {
+			b.Fatal("empty ring")
+		}
+		resp, err := members[owner].ScoreLocal(reqs[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Release()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(reqs)
+		owner, _ := ring.Pick(keys[j])
+		resp, err := members[owner].ScoreLocal(reqs[j])
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Release()
+	}
+}

@@ -37,11 +37,13 @@ var ErrInjected = errors.New("faults: injected failure")
 // Injection sites. Each site draws from its own deterministic decision
 // stream, so enabling one fault type never perturbs another's schedule.
 const (
-	SiteScoreLatency    = "score.latency"
-	SiteScoreError      = "score.error"
-	SiteBatchItem       = "batch.item"
-	SiteRegistrySlow    = "registry.slow"
-	SiteRegistryCorrupt = "registry.corrupt"
+	SiteScoreLatency     = "score.latency"
+	SiteScoreError       = "score.error"
+	SiteBatchItem        = "batch.item"
+	SiteRegistrySlow     = "registry.slow"
+	SiteRegistryCorrupt  = "registry.corrupt"
+	SiteReplicaKill      = "replica.kill"
+	SiteReplicaPartition = "replica.partition"
 )
 
 // Profile describes the fault mix: a firing probability per site plus the
@@ -65,6 +67,13 @@ type Profile struct {
 	// returns corrupted bytes, which the registry's checksum verification
 	// must catch.
 	RegistryCorruptRate float64
+	// ReplicaKillRate is the probability a fleet chaos step kills one
+	// replica (drain + process death; the harness restarts it later).
+	ReplicaKillRate float64
+	// ReplicaPartitionRate is the probability a fleet chaos step network-
+	// partitions one replica: its listener refuses every request until the
+	// partition heals.
+	ReplicaPartitionRate float64
 }
 
 // Zero reports whether the profile injects nothing.
@@ -83,6 +92,10 @@ func (p Profile) rateFor(site string) float64 {
 		return p.RegistrySlowRate
 	case SiteRegistryCorrupt:
 		return p.RegistryCorruptRate
+	case SiteReplicaKill:
+		return p.ReplicaKillRate
+	case SiteReplicaPartition:
+		return p.ReplicaPartitionRate
 	}
 	return 0
 }
@@ -92,6 +105,7 @@ func Sites() []string {
 	return []string{
 		SiteScoreLatency, SiteScoreError, SiteBatchItem,
 		SiteRegistrySlow, SiteRegistryCorrupt,
+		SiteReplicaKill, SiteReplicaPartition,
 	}
 }
 
@@ -138,6 +152,14 @@ func ParseProfile(spec string) (seed int64, p Profile, err error) {
 		case "registry-corrupt":
 			if err := parseRate(val, &p.RegistryCorruptRate); err != nil {
 				return 0, Profile{}, fmt.Errorf("faults: registry-corrupt %q: %v", val, err)
+			}
+		case "replica-kill":
+			if err := parseRate(val, &p.ReplicaKillRate); err != nil {
+				return 0, Profile{}, fmt.Errorf("faults: replica-kill %q: %v", val, err)
+			}
+		case "replica-partition":
+			if err := parseRate(val, &p.ReplicaPartitionRate); err != nil {
+				return 0, Profile{}, fmt.Errorf("faults: replica-partition %q: %v", val, err)
 			}
 		default:
 			return 0, Profile{}, fmt.Errorf("faults: unknown field %q", key)
@@ -324,6 +346,20 @@ func (in *Injector) BatchItemError() error {
 		return fmt.Errorf("%w: batch item", ErrInjected)
 	}
 	return nil
+}
+
+// ReplicaKill reports whether the next fleet chaos step should kill a
+// replica. The fleet harness consults this once per logical step, so the
+// kill schedule — like every other site — is a pure function of
+// (seed, step index).
+func (in *Injector) ReplicaKill() bool {
+	return in != nil && in.draw(SiteReplicaKill, in.profile.ReplicaKillRate)
+}
+
+// ReplicaPartition reports whether the next fleet chaos step should
+// partition a replica off the network.
+func (in *Injector) ReplicaPartition() bool {
+	return in != nil && in.draw(SiteReplicaPartition, in.profile.ReplicaPartitionRate)
 }
 
 // RegistryRead is the registry read hook: it delays and/or corrupts a

@@ -79,7 +79,7 @@ func TestScheduleMatchesDecide(t *testing.T) {
 // TestParseProfile exercises the -fault-profile syntax: full spec,
 // defaults, and each rejection.
 func TestParseProfile(t *testing.T) {
-	seed, p, err := ParseProfile("seed=42,latency=0.2:5ms,error=0.1,batch-item=0.05,registry-slow=0.1:10ms,registry-corrupt=0.02")
+	seed, p, err := ParseProfile("seed=42,latency=0.2:5ms,error=0.1,batch-item=0.05,registry-slow=0.1:10ms,registry-corrupt=0.02,replica-kill=0.03,replica-partition=0.04")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,9 @@ func TestParseProfile(t *testing.T) {
 		LatencyRate: 0.2, Latency: 5 * time.Millisecond,
 		ErrorRate: 0.1, BatchItemRate: 0.05,
 		RegistrySlowRate: 0.1, RegistrySlow: 10 * time.Millisecond,
-		RegistryCorruptRate: 0.02,
+		RegistryCorruptRate:  0.02,
+		ReplicaKillRate:      0.03,
+		ReplicaPartitionRate: 0.04,
 	}
 	if seed != 42 || p != want {
 		t.Fatalf("got seed=%d profile=%+v, want 42 %+v", seed, p, want)
@@ -116,6 +118,8 @@ func TestParseProfile(t *testing.T) {
 		"seed=abc",           // bad seed
 		"unknown-fault=0.5",  // unknown key
 		"registry-corrupt=2", // rate out of range
+		"replica-kill=7",     // rate out of range
+		"replica-partition=", // empty value
 	} {
 		if _, _, err := ParseProfile(bad); err == nil {
 			t.Fatalf("ParseProfile(%q) accepted", bad)
@@ -299,5 +303,41 @@ func TestRegistryReadSlow(t *testing.T) {
 	}
 	if st := in.Stats()[SiteRegistrySlow]; st.Fired != 1 {
 		t.Fatalf("slow site stats %+v", st)
+	}
+}
+
+// TestReplicaSites pins the fleet chaos sites: decisions are pure
+// functions of (seed, step), the two sites draw independent streams, and
+// Verify reconciles recorded firings against the schedule.
+func TestReplicaSites(t *testing.T) {
+	in := New(77, Profile{ReplicaKillRate: 0.3, ReplicaPartitionRate: 0.4})
+	const steps = 200
+	var kills, parts []bool
+	for i := 0; i < steps; i++ {
+		kills = append(kills, in.ReplicaKill())
+		parts = append(parts, in.ReplicaPartition())
+	}
+	wantKills := Schedule(77, SiteReplicaKill, 0.3, steps)
+	wantParts := Schedule(77, SiteReplicaPartition, 0.4, steps)
+	for i := 0; i < steps; i++ {
+		if kills[i] != wantKills[i] {
+			t.Fatalf("kill step %d: got %v, schedule says %v", i, kills[i], wantKills[i])
+		}
+		if parts[i] != wantParts[i] {
+			t.Fatalf("partition step %d: got %v, schedule says %v", i, parts[i], wantParts[i])
+		}
+	}
+	if err := in.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// A disabled injector consumes no draws, so re-enabling resumes the
+	// schedule exactly — the recovery-phase guarantee.
+	in.SetEnabled(false)
+	if in.ReplicaKill() || in.ReplicaPartition() {
+		t.Fatal("disabled injector fired")
+	}
+	st := in.Stats()
+	if st[SiteReplicaKill].Draws != steps || st[SiteReplicaPartition].Draws != steps {
+		t.Fatalf("disabled draws consumed: %+v", st)
 	}
 }

@@ -1,0 +1,919 @@
+package harness
+
+// Fleet chaos: the cluster-mode counterpart of Run. Where Run storms one
+// tasqd, RunFleet boots N in-process replicas over one shared registry
+// behind a consistent-hash ClusterClient and drives a *seeded* schedule
+// of replica kills, network partitions and restarts through the fleet —
+// with a rolling model promotion wave mid-storm — asserting the
+// scale-out invariants:
+//
+//   - no lost scores: every client-observed 200 was served and counted
+//     by exactly one member, and the members' job counters sum to the
+//     client's view (batch items stranded by a failed sibling group are
+//     bounded, not guessed);
+//   - exact counter reconciliation: per member, per route, per status
+//     class, client attempt tallies equal the member's HTTP counters
+//     summed across ALL its incarnations plus its counted partition
+//     refusals — kills and restarts lose nothing and double-count
+//     nothing, including the tasq_shed_total{reason} breakdown across a
+//     drain-restart cycle;
+//   - bounded error rate during churn: ring failover keeps operations
+//     succeeding while members die and partition, and once the storm
+//     clears the fleet recovers to 100% success on the promoted
+//     generation;
+//   - minimal key movement: ejecting and re-admitting members leaves the
+//     final routing assignment identical to the initial one, and any
+//     single member's removal moves only the keys it owned;
+//   - event-for-event reproducibility: the same seed produces the
+//     identical fleet event log (drain/kill/restart/partition/heal and
+//     the promotion wave's canary/adopt sequence), verified against the
+//     injector's pure schedule.
+//
+// Determinism model: the chaos schedule advances in steps. Each step
+// first applies schedule mutations at a barrier (nothing in flight),
+// then lets workers fire a fixed batch of operations, then probes for
+// re-admission. Mutations are pure functions of (seed, step); worker
+// interleaving stays nondeterministic, and the invariants hold under any
+// interleaving — the *schedule* is what replays.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"tasq/internal/autopilot"
+	"tasq/internal/cluster"
+	"tasq/internal/faults"
+	"tasq/internal/jobrepo"
+	"tasq/internal/parallel"
+	"tasq/internal/registry"
+	"tasq/internal/serve"
+	"tasq/internal/trainer"
+)
+
+// FleetConfig parameterizes one fleet chaos run.
+type FleetConfig struct {
+	// Seed fixes the kill/partition schedule, victim choices and worker
+	// op mixes.
+	Seed int64
+	// Dir is the shared registry root (a fresh temp dir per run).
+	Replicas int
+	Dir      string
+	// Workers × OpsPerStep × Steps sizes the storm (defaults 6 × 8 × 18).
+	Workers    int
+	OpsPerStep int
+	Steps      int
+	// Profile supplies the replica.kill / replica.partition rates.
+	Profile faults.Profile
+	// KillDownSteps is how many steps a killed replica stays dead before
+	// restarting (default 3); PartitionSteps how long a partition lasts
+	// (default 2).
+	KillDownSteps  int
+	PartitionSteps int
+	// MaxFailRate bounds the fraction of operations allowed to fail
+	// (with an allowed status) during the storm (default 0.20).
+	MaxFailRate float64
+	// Logf receives progress lines (optional).
+	Logf func(format string, args ...any)
+}
+
+// FleetEvent is one entry of the reproducible fleet event log.
+type FleetEvent struct {
+	Step   int
+	Action string // drain|kill|restart|partition|heal|wave-*
+	Member string // replica ID, or the version for wave decisions
+}
+
+// FleetResult is what a fleet chaos run observed.
+type FleetResult struct {
+	// Events is the deterministic fleet event log — equal across
+	// same-seed runs.
+	Events []FleetEvent
+	// Ops counts storm operations; FailedOps those that failed with an
+	// allowed status (FailedByKind breaks them down); Intended400
+	// deliberate invalid requests answered 400.
+	Ops          int64
+	FailedOps    int64
+	FailedByKind map[string]int64
+	Intended400  int64
+	// Attempts counts HTTP attempts across all member clients.
+	Attempts int64
+	// Kills and Partitions count schedule disruptions that fired;
+	// StepsRun is the number of storm steps executed (one schedule draw
+	// per site per step).
+	Kills      int
+	Partitions int
+	StepsRun   int
+	// Stats snapshots the balancer's routing/health counters.
+	Stats serve.ClusterStats
+	// Wave is the mid-storm promotion wave's outcome.
+	Wave *cluster.WaveResult
+	// Recovered counts post-storm scores that all succeeded on the
+	// promoted generation.
+	Recovered int
+	// FaultTrace and FiredBySite mirror Result's determinism record for
+	// the replica fault sites.
+	FaultTrace  map[string]string
+	FiredBySite map[string]faults.SiteStats
+}
+
+// Fleet chaos defaults.
+const (
+	defaultFleetReplicas   = 3
+	defaultFleetWorkers    = 6
+	defaultFleetOpsPerStep = 8
+	defaultFleetSteps      = 18
+	defaultKillDownSteps   = 3
+	defaultPartitionSteps  = 2
+	defaultMaxFailRate     = 0.20
+)
+
+// fleetTally aggregates every HTTP attempt per member, the member-side
+// half of the reconciliation ledger. 503s are additionally classified by
+// body — partitioned (the fleet's pre-mux gate), draining (the admission
+// gate), other — since those three must reconcile against different
+// server-side counters.
+type fleetTally struct {
+	mu       sync.Mutex
+	attempts int64
+	byClass  map[string]int64 // "member|route|2xx"
+	byStatus map[string]int64 // "member|429"
+	sub503   map[string]int64 // "member|route|draining"
+}
+
+func newFleetTally() *fleetTally {
+	return &fleetTally{
+		byClass:  map[string]int64{},
+		byStatus: map[string]int64{},
+		sub503:   map[string]int64{},
+	}
+}
+
+// hook builds the OnAttempt observer for one member's client.
+func (t *fleetTally) hook(member string) func(method, path string, status int, err error) {
+	return func(_ string, path string, status int, err error) {
+		cls := "0xx" // transport error: the member never answered
+		if status >= 100 && status <= 599 {
+			cls = fmt.Sprintf("%dxx", status/100)
+		}
+		sub := ""
+		if status == http.StatusServiceUnavailable {
+			sub = "other"
+			var se *serve.StatusError
+			if errors.As(err, &se) {
+				if strings.Contains(se.Message, "cluster: partitioned") {
+					sub = "partitioned"
+				} else if strings.Contains(se.Message, "draining") {
+					sub = "draining"
+				}
+			}
+		}
+		t.mu.Lock()
+		t.attempts++
+		t.byClass[member+"|"+path+"|"+cls]++
+		t.byStatus[fmt.Sprintf("%s|%d", member, status)]++
+		if sub != "" {
+			t.sub503[member+"|"+path+"|"+sub]++
+		}
+		t.mu.Unlock()
+	}
+}
+
+func (t *fleetTally) class(member, route, cls string) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.byClass[member+"|"+route+"|"+cls]
+}
+
+func (t *fleetTally) status(member string, code int) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.byStatus[fmt.Sprintf("%s|%d", member, code)]
+}
+
+func (t *fleetTally) sub(member, route, subtype string) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sub503[member+"|"+route+"|"+subtype]
+}
+
+// fleetCounters tracks storm-wide op outcomes.
+type fleetCounters struct {
+	mu          sync.Mutex
+	ops         int64
+	failed      int64
+	failedKinds map[string]int64
+	intended400 int64
+	itemsOK     int64
+	// strandedCap bounds batch items a member may have scored inside an
+	// envelope whose sibling group failed (the client never saw the
+	// partial result, so it can only bound, not count).
+	strandedCap int64
+}
+
+// allowedFleetFailure reports whether an op failure is within the chaos
+// budget: balancer short-circuits, transport errors to killed members,
+// and the refusal statuses (429/502/503/504). Anything else — a 500, an
+// unexpected 4xx — is an invariant violation.
+func allowedFleetFailure(err error) bool {
+	if errors.Is(err, serve.ErrNoMembers) || errors.Is(err, serve.ErrCircuitOpen) {
+		return true
+	}
+	code, ok := statusOf(err)
+	if !ok {
+		return true // transport error: connection refused mid-churn
+	}
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// newFleetMemberClient builds the client the balancer uses for one
+// member: no internal retries (ring failover is the retry), keep-alives
+// off so every attempt is a fresh connection that either reaches a live
+// listener or is cleanly refused — never a half-dead pooled connection —
+// and a fast breaker so dead members eject within two attempts.
+func newFleetMemberClient(url, id string, tal *fleetTally) *serve.Client {
+	c := serve.NewClient(url)
+	c.HTTP = &http.Client{
+		Timeout:   30 * time.Second,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+	c.Breaker = serve.NewBreaker(2, 10*time.Millisecond)
+	c.OnAttempt = tal.hook(id)
+	return c
+}
+
+// fleetSchedule is the per-replica disruption bookkeeping; all values
+// are step numbers, -1 when not in that state.
+type fleetSchedule struct {
+	drainAt []int
+	deadAt  []int
+	partAt  []int
+}
+
+func newFleetSchedule(n int) *fleetSchedule {
+	s := &fleetSchedule{drainAt: make([]int, n), deadAt: make([]int, n), partAt: make([]int, n)}
+	for i := 0; i < n; i++ {
+		s.drainAt[i], s.deadAt[i], s.partAt[i] = -1, -1, -1
+	}
+	return s
+}
+
+// disrupted counts replicas currently draining, dead or partitioned.
+func (s *fleetSchedule) disrupted() int {
+	n := 0
+	for i := range s.deadAt {
+		if s.drainAt[i] >= 0 || s.deadAt[i] >= 0 || s.partAt[i] >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// servable lists the members the schedule says can serve right now: not
+// draining, not dead, not partitioned.
+func servable(fleet *cluster.Fleet, sched *fleetSchedule) []string {
+	var out []string
+	for i, r := range fleet.Replicas() {
+		if sched.drainAt[i] < 0 && sched.deadAt[i] < 0 && sched.partAt[i] < 0 {
+			out = append(out, r.ID())
+		}
+	}
+	return out
+}
+
+// probeUntil drives re-admission probes until every listed member is
+// back in the ring. Chaos steps can be shorter than the breaker
+// cooldown, so this sleeps the cooldown off rather than spinning.
+func probeUntil(cc *serve.ClusterClient, ctx context.Context, want []string) error {
+	for try := 0; ; try++ {
+		healthy := map[string]bool{}
+		for _, id := range cc.HealthyMembers() {
+			healthy[id] = true
+		}
+		missing := ""
+		for _, id := range want {
+			if !healthy[id] {
+				missing = id
+				break
+			}
+		}
+		if missing == "" {
+			return nil
+		}
+		if try >= 200 {
+			return fmt.Errorf("member %s not re-admitted after %d probes (healthy %v, want %v)",
+				missing, try, cc.HealthyMembers(), want)
+		}
+		time.Sleep(2 * time.Millisecond)
+		cc.Probe(ctx)
+	}
+}
+
+// victim picks a deterministic victim among the eligible indices via the
+// shared unit-stream construction; -1 when none are eligible.
+func victim(seed int64, site string, step int, eligible []int) int {
+	if len(eligible) == 0 {
+		return -1
+	}
+	u := faults.Unit(seed, site, int64(step))
+	i := int(u * float64(len(eligible)))
+	if i >= len(eligible) {
+		i = len(eligible) - 1
+	}
+	return eligible[i]
+}
+
+// RunFleet executes one fleet chaos scenario end to end. Any invariant
+// violation surfaces as an error.
+func RunFleet(cfg FleetConfig) (*FleetResult, error) {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = defaultFleetReplicas
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = defaultFleetWorkers
+	}
+	if cfg.OpsPerStep <= 0 {
+		cfg.OpsPerStep = defaultFleetOpsPerStep
+	}
+	if cfg.Steps <= 0 {
+		cfg.Steps = defaultFleetSteps
+	}
+	if cfg.KillDownSteps <= 0 {
+		cfg.KillDownSteps = defaultKillDownSteps
+	}
+	if cfg.PartitionSteps <= 0 {
+		cfg.PartitionSteps = defaultPartitionSteps
+	}
+	if cfg.MaxFailRate <= 0 {
+		cfg.MaxFailRate = defaultMaxFailRate
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	n := cfg.Replicas
+
+	// ---- Boot: shared registry, v1, fleet, balancer. ----
+	reg, err := registry.Open(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	p1, recs, err := trainSmall(51)
+	if err != nil {
+		return nil, err
+	}
+	p2, _, err := trainSmall(53)
+	if err != nil {
+		return nil, err
+	}
+	oracle, err := buildOracle(map[int]*trainer.Pipeline{1: p1, 2: p2}, recs, []string{"", "xgboost-pl"})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := reg.PublishPipeline(p1, registry.Manifest{Notes: "fleet v1"}); err != nil {
+		return nil, err
+	}
+
+	fleet, err := cluster.NewFleet(cfg.Dir, n, logf)
+	if err != nil {
+		return nil, err
+	}
+	defer fleet.Close()
+
+	tal := newFleetTally()
+	ring := cluster.NewRing(0)
+	cc := serve.NewClusterClient(ring)
+	for _, r := range fleet.Replicas() {
+		if err := cc.AddMember(r.ID(), newFleetMemberClient(r.URL(), r.ID(), tal)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Routing keys of the storm's job population, and the initial
+	// assignment the final one must restore.
+	keys := make([][]byte, len(recs))
+	for i, rec := range recs {
+		keys[i] = serve.RouteKey("", rec.Job)
+	}
+	baseAssign, err := ring.Assign(keys)
+	if err != nil {
+		return nil, err
+	}
+
+	inj := faults.New(cfg.Seed, cfg.Profile)
+	res := &FleetResult{FaultTrace: map[string]string{}}
+	errs := &firstErr{}
+	cnt := &fleetCounters{}
+	versions := map[int]bool{1: true, 2: true}
+	sched := newFleetSchedule(n)
+	ctx := context.Background()
+
+	event := func(step int, action, member string) {
+		res.Events = append(res.Events, FleetEvent{Step: step, Action: action, Member: member})
+		logf("fleet: step %d %s %s", step, action, member)
+	}
+
+	// Per-worker deterministic op mixes, persistent across steps.
+	rngs := make([]*rand.Rand, cfg.Workers)
+	for w := range rngs {
+		rngs[w] = rand.New(rand.NewSource(parallel.Seed(cfg.Seed, 3000+w)))
+	}
+
+	waveStep := cfg.Steps / 2
+	logf("fleet: storm start (seed=%d replicas=%d steps=%d)", cfg.Seed, n, cfg.Steps)
+
+	for step := 0; step < cfg.Steps; step++ {
+		// -- (a) schedule mutations, at a barrier: nothing in flight. --
+		for i := 0; i < n; i++ {
+			if sched.deadAt[i] >= 0 && step-sched.deadAt[i] >= cfg.KillDownSteps {
+				r := fleet.Replica(i)
+				if err := r.Restart(); err != nil {
+					return nil, err
+				}
+				// The new incarnation listens on a fresh port; re-point
+				// the balancer. Health state is preserved — a probe
+				// re-admits it.
+				if err := cc.SetMemberClient(r.ID(), newFleetMemberClient(r.URL(), r.ID(), tal)); err != nil {
+					return nil, err
+				}
+				sched.deadAt[i], sched.drainAt[i] = -1, -1
+				event(step, "restart", r.ID())
+			}
+			if sched.partAt[i] >= 0 && step-sched.partAt[i] >= cfg.PartitionSteps {
+				if err := fleet.Replica(i).Partition(false); err != nil {
+					return nil, err
+				}
+				sched.partAt[i] = -1
+				event(step, "heal", fleet.Replica(i).ID())
+			}
+		}
+		// Drains announced last step close now: one step of traffic hit
+		// the draining member (503 draining, counted on both sides), so
+		// the shed breakdown demonstrably survives the restart.
+		for i := 0; i < n; i++ {
+			if sched.drainAt[i] >= 0 && sched.deadAt[i] < 0 && step > sched.drainAt[i] {
+				if err := fleet.Replica(i).Kill(); err != nil {
+					return nil, err
+				}
+				sched.deadAt[i] = step
+				event(step, "kill", fleet.Replica(i).ID())
+			}
+		}
+		// New disruptions — every step consumes exactly one draw per
+		// site, so the decision stream is a pure function of the step.
+		killFire := inj.ReplicaKill()
+		partFire := inj.ReplicaPartition()
+		if killFire && sched.disrupted() < n-1 {
+			var eligible []int
+			for i := 0; i < n; i++ {
+				if sched.drainAt[i] < 0 && sched.deadAt[i] < 0 && sched.partAt[i] < 0 {
+					eligible = append(eligible, i)
+				}
+			}
+			if v := victim(cfg.Seed, "replica.victim.kill", step, eligible); v >= 0 {
+				fleet.Replica(v).Server().BeginDrain()
+				sched.drainAt[v] = step
+				res.Kills++
+				event(step, "drain", fleet.Replica(v).ID())
+			}
+		}
+		if partFire && sched.disrupted() < n-1 {
+			var eligible []int
+			for i := 0; i < n; i++ {
+				if sched.drainAt[i] < 0 && sched.deadAt[i] < 0 && sched.partAt[i] < 0 {
+					eligible = append(eligible, i)
+				}
+			}
+			if v := victim(cfg.Seed, "replica.victim.partition", step, eligible); v >= 0 {
+				if err := fleet.Replica(v).Partition(true); err != nil {
+					return nil, err
+				}
+				sched.partAt[v] = step
+				res.Partitions++
+				event(step, "partition", fleet.Replica(v).ID())
+			}
+		}
+
+		// -- Mid-storm promotion wave: publish v2, canary it on the
+		// first live replica, promote, wave through the fleet. --
+		if step == waveStep {
+			if _, err := reg.PublishPipeline(p2, registry.Manifest{Notes: "fleet v2 candidate"}); err != nil {
+				return nil, err
+			}
+			var members []cluster.Syncer
+			for _, r := range fleet.Replicas() { // alive first: the canary must be up
+				if r.Alive() {
+					members = append(members, r)
+				}
+			}
+			for _, r := range fleet.Replicas() {
+				if !r.Alive() {
+					members = append(members, r)
+				}
+			}
+			wave, err := cluster.RunWave(reg, members, 2,
+				func(int) (float64, float64) { return 0.01, 0.10 }, // candidate clearly better
+				func(int) float64 { return 0.01 },                  // and quiet under guard
+				cluster.WaveConfig{
+					Machine: fastWaveMachine(),
+					OnEvent: func(ev, detail string) { event(step, "wave-"+ev, detail) },
+				})
+			if err != nil {
+				return nil, fmt.Errorf("fleet: promotion wave: %w", err)
+			}
+			if wave.Outcome != registry.WaveStateComplete {
+				return nil, fmt.Errorf("fleet: wave outcome %q, want complete", wave.Outcome)
+			}
+			res.Wave = wave
+		}
+
+		// -- (b) health convergence: every member the schedule says is
+		// servable must be back in the ring before traffic flows, so
+		// each step starts from the schedule-determined health baseline
+		// (steps can be faster than the breaker cooldown; sleep it off).
+		if err := probeUntil(cc, ctx, servable(fleet, sched)); err != nil {
+			return nil, fmt.Errorf("fleet: step %d: %w", step, err)
+		}
+
+		// -- (c) worker traffic. --
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for op := 0; op < cfg.OpsPerStep; op++ {
+					runFleetOp(rngs[w], cc, recs, versions, oracle, cnt, errs)
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		if err := errs.get(); err != nil {
+			return nil, err
+		}
+	}
+
+	// ---- Recovery: schedule cleared, fleet must converge to 100%. ----
+	inj.SetEnabled(false)
+	logf("fleet: recovery")
+	for i := 0; i < n; i++ {
+		r := fleet.Replica(i)
+		if sched.deadAt[i] >= 0 || sched.drainAt[i] >= 0 {
+			if sched.deadAt[i] < 0 {
+				// Draining but not yet closed: finish the kill first.
+				if err := r.Kill(); err != nil {
+					return nil, err
+				}
+				event(cfg.Steps, "kill", r.ID())
+			}
+			if err := r.Restart(); err != nil {
+				return nil, err
+			}
+			if err := cc.SetMemberClient(r.ID(), newFleetMemberClient(r.URL(), r.ID(), tal)); err != nil {
+				return nil, err
+			}
+			sched.deadAt[i], sched.drainAt[i] = -1, -1
+			event(cfg.Steps, "restart", r.ID())
+		}
+		if sched.partAt[i] >= 0 {
+			if err := r.Partition(false); err != nil {
+				return nil, err
+			}
+			sched.partAt[i] = -1
+			event(cfg.Steps, "heal", r.ID())
+		}
+	}
+	if err := fleet.SyncAll(); err != nil {
+		return nil, err
+	}
+	if err := probeUntil(cc, ctx, servable(fleet, sched)); err != nil {
+		return nil, fmt.Errorf("fleet: recovery: %w", err)
+	}
+	if got := len(cc.HealthyMembers()); got != n {
+		return nil, fmt.Errorf("fleet: %d/%d members healthy after recovery", got, n)
+	}
+	for _, r := range fleet.Replicas() {
+		if got := r.ActiveVersion(); got != 2 {
+			return nil, fmt.Errorf("fleet: replica %s active v%d after recovery, want v2", r.ID(), got)
+		}
+		if got := r.ShadowVersion(); got != 0 {
+			return nil, fmt.Errorf("fleet: replica %s still shadows v%d after recovery", r.ID(), got)
+		}
+	}
+	// Every job must score on the promoted generation, routed by the
+	// restored ring.
+	recVersions := map[int]bool{2: true}
+	for _, rec := range recs {
+		resp, err := cc.Score(&serve.ScoreRequest{Job: rec.Job})
+		if err != nil {
+			return nil, fmt.Errorf("fleet: recovery score %s: %w", rec.Job.ID, err)
+		}
+		if err := checkScore(resp, recVersions, oracle, rec.Job.ID); err != nil {
+			return nil, fmt.Errorf("fleet: recovery score %s: %w", rec.Job.ID, err)
+		}
+		res.Recovered++
+	}
+
+	// ---- Minimal key movement. ----
+	// Live ring: full membership restored ⇒ the assignment is the boot
+	// assignment, exactly (assignment is a pure function of the member
+	// set).
+	finalAssign, err := ring.Assign(keys)
+	if err != nil {
+		return nil, err
+	}
+	for k, owner := range baseAssign {
+		if finalAssign[k] != owner {
+			return nil, fmt.Errorf("fleet: key %q moved %s -> %s across the storm despite restored membership",
+				k, owner, finalAssign[k])
+		}
+	}
+	// Pure post-pass: removing any single member moves only its own keys.
+	scratch := cluster.NewRing(0)
+	for _, r := range fleet.Replicas() {
+		scratch.Add(r.ID())
+	}
+	for _, r := range fleet.Replicas() {
+		scratch.Remove(r.ID())
+		moved, err := scratch.Assign(keys)
+		if err != nil {
+			return nil, err
+		}
+		for k, owner := range moved {
+			if baseAssign[k] != r.ID() && owner != baseAssign[k] {
+				return nil, fmt.Errorf("fleet: removing %s moved key %q owned by %s", r.ID(), k, baseAssign[k])
+			}
+		}
+		scratch.Add(r.ID())
+	}
+
+	// ---- Exact cross-member counter reconciliation. ----
+	if err := reconcileFleet(fleet, tal, cnt); err != nil {
+		return nil, err
+	}
+
+	// ---- Error budget and determinism. ----
+	cnt.mu.Lock()
+	res.Ops, res.FailedOps, res.Intended400 = cnt.ops, cnt.failed, cnt.intended400
+	res.FailedByKind = map[string]int64{}
+	for k, v := range cnt.failedKinds {
+		res.FailedByKind[k] = v
+	}
+	cnt.mu.Unlock()
+	if res.Ops > 0 {
+		if rate := float64(res.FailedOps) / float64(res.Ops); rate > cfg.MaxFailRate {
+			return nil, fmt.Errorf("fleet: %d/%d ops failed (%.1f%%), budget %.1f%% — by kind: %v",
+				res.FailedOps, res.Ops, 100*rate, 100*cfg.MaxFailRate, res.FailedByKind)
+		}
+	}
+	if err := inj.Verify(); err != nil {
+		return nil, err
+	}
+	if err := errs.get(); err != nil {
+		return nil, err
+	}
+	for _, site := range []string{faults.SiteReplicaKill, faults.SiteReplicaPartition} {
+		var b strings.Builder
+		for _, fire := range faults.Schedule(cfg.Seed, site, rateOf(cfg.Profile, site), faultTraceLen) {
+			if fire {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		res.FaultTrace[site] = b.String()
+	}
+	res.FiredBySite = inj.Stats()
+	res.StepsRun = cfg.Steps
+	res.Stats = cc.Stats()
+	tal.mu.Lock()
+	res.Attempts = tal.attempts
+	tal.mu.Unlock()
+	logf("fleet: done — %d ops (%d failed), %d kills, %d partitions, %d recovered",
+		res.Ops, res.FailedOps, res.Kills, res.Partitions, res.Recovered)
+	return res, nil
+}
+
+// fastWaveMachine is the promotion machine sized for a storm step: the
+// decision still lands exactly at the Nth sample, just with a small N.
+func fastWaveMachine() autopilot.MachineConfig {
+	return autopilot.MachineConfig{
+		PromoteMinN: 6, PromoteDelta: 0.02,
+		GuardrailWindow: 6, GuardrailFactor: 2,
+		GuardrailFloor: 0.05, GuardAlpha: 0.5, GuardMinSamples: 2,
+	}
+}
+
+// runFleetOp executes one operation against the balancer and asserts the
+// outcome is in the allowed set: a correct 200 (curve matching the
+// labeled generation's oracle), the intended 400, or an allowed churn
+// failure. Anything else fails the run.
+func runFleetOp(rng *rand.Rand, cc *serve.ClusterClient, recs []*jobrepo.Record,
+	versions map[int]bool, oracle curveOracle, cnt *fleetCounters, errs *firstErr) {
+	cnt.mu.Lock()
+	cnt.ops++
+	cnt.mu.Unlock()
+	fail := func(err error, stranded int64) {
+		kind := "transport"
+		switch {
+		case errors.Is(err, serve.ErrNoMembers):
+			kind = "no-members"
+		case errors.Is(err, serve.ErrCircuitOpen):
+			kind = "circuit-open"
+		default:
+			if code, ok := statusOf(err); ok {
+				kind = fmt.Sprintf("status-%d", code)
+			}
+		}
+		cnt.mu.Lock()
+		if cnt.failedKinds == nil {
+			cnt.failedKinds = map[string]int64{}
+		}
+		cnt.failed++
+		cnt.failedKinds[kind]++
+		cnt.strandedCap += stranded
+		cnt.mu.Unlock()
+	}
+	single := func(model string) {
+		rec := recs[rng.Intn(len(recs))]
+		resp, err := cc.Score(&serve.ScoreRequest{Job: rec.Job, Model: model})
+		if err != nil {
+			if allowedFleetFailure(err) {
+				fail(err, 0)
+			} else {
+				errs.set(fmt.Errorf("fleet single score %s: %w", rec.Job.ID, err))
+			}
+			return
+		}
+		if err := checkScore(resp, versions, oracle, rec.Job.ID); err != nil {
+			errs.set(err)
+		}
+	}
+	roll := rng.Intn(100)
+	switch {
+	case roll < 60:
+		single("") // policy-routed model
+	case roll < 72:
+		single("xgboost-pl") // explicit model: a second routing-key population
+	case roll < 88:
+		// Batch of valid jobs: groups fan out per owner, so one envelope
+		// exercises several members at once.
+		k := 2 + rng.Intn(3)
+		items := make([]serve.ScoreRequest, k)
+		ids := make([]string, k)
+		for i := range items {
+			rec := recs[rng.Intn(len(recs))]
+			items[i] = serve.ScoreRequest{Job: rec.Job}
+			ids[i] = rec.Job.ID
+		}
+		resp, err := cc.ScoreBatch(&serve.BatchScoreRequest{Items: items})
+		if err != nil {
+			if allowedFleetFailure(err) {
+				// A sibling group may have executed before this one
+				// failed the envelope; its items are stranded, not lost.
+				fail(err, int64(k))
+			} else {
+				errs.set(fmt.Errorf("fleet batch score: %w", err))
+			}
+			return
+		}
+		if resp.Failed != 0 || resp.Succeeded != k {
+			errs.set(fmt.Errorf("fleet batch of %d valid jobs: %d ok, %d failed",
+				k, resp.Succeeded, resp.Failed))
+			return
+		}
+		for i, item := range resp.Results {
+			if item.Status != http.StatusOK || item.Response == nil {
+				errs.set(fmt.Errorf("fleet batch item %d: status %d (%s)", i, item.Status, item.Error))
+				return
+			}
+			if err := checkScore(item.Response, versions, oracle, ids[i]); err != nil {
+				errs.set(err)
+				return
+			}
+		}
+		cnt.mu.Lock()
+		cnt.itemsOK += int64(k)
+		cnt.mu.Unlock()
+	default:
+		// Deliberate invalid request: a nil job must come back as a
+		// crisp 400 even mid-churn, unless its whole failover chain is
+		// down.
+		_, err := cc.Score(&serve.ScoreRequest{})
+		if code, ok := statusOf(err); ok && code == http.StatusBadRequest {
+			cnt.mu.Lock()
+			cnt.intended400++
+			cnt.mu.Unlock()
+			return
+		}
+		if err != nil && allowedFleetFailure(err) {
+			fail(err, 0)
+			return
+		}
+		errs.set(fmt.Errorf("fleet invalid score: want 400, got %v", err))
+	}
+}
+
+// reconcileFleet balances every member's client-side attempt ledger
+// against its server-side counters summed across incarnations.
+func reconcileFleet(fleet *cluster.Fleet, tal *fleetTally, cnt *fleetCounters) error {
+	var fleetOKJobs, fleetFailedJobs, fleetRejectedJobs float64
+	var fleetSingles2xx, fleetScore4xx float64
+	var fleetShedDraining float64
+	for _, r := range fleet.Replicas() {
+		id := r.ID()
+		total, err := r.MetricsTotal()
+		if err != nil {
+			return err
+		}
+		part := r.PartitionRefusals()
+
+		// Per route, per class: client attempts == server HTTP counters
+		// (all incarnations) + counted partition refusals.
+		for _, route := range []string{"/v1/score", "/v1/score/batch", "/readyz"} {
+			for _, cls := range []string{"2xx", "4xx", "5xx"} {
+				got := total[fmt.Sprintf("tasq_http_requests_total{code=%q,route=%q}", cls, route)]
+				if cls == "5xx" {
+					got += float64(part[route])
+				}
+				want := float64(tal.class(id, route, cls))
+				if got != want {
+					return fmt.Errorf("fleet reconcile %s %s %s: server %v, clients %v (partition refusals %d)",
+						id, route, cls, got, want, part[route])
+				}
+			}
+		}
+
+		// Shed breakdown: the draining sheds a member served across ALL
+		// its incarnations equal the draining 503s clients saw from it —
+		// the counter survives the drain-restart cycle with no loss and
+		// no double-count. The other reasons never fire here.
+		shedDraining := total[`tasq_shed_total{reason="draining"}`]
+		clientDraining := float64(tal.sub(id, "/v1/score", "draining") + tal.sub(id, "/v1/score/batch", "draining"))
+		if shedDraining != clientDraining {
+			return fmt.Errorf("fleet reconcile %s shed{draining}: server %v across incarnations, clients %v",
+				id, shedDraining, clientDraining)
+		}
+		fleetShedDraining += shedDraining
+		if got := total[`tasq_shed_total{reason="queue_full"}`]; got != float64(tal.status(id, http.StatusTooManyRequests)) {
+			return fmt.Errorf("fleet reconcile %s shed{queue_full}: server %v, clients %v", id, got, tal.status(id, 429))
+		}
+		if got := total[`tasq_shed_total{reason="deadline"}`]; got != float64(tal.status(id, http.StatusGatewayTimeout)) {
+			return fmt.Errorf("fleet reconcile %s shed{deadline}: server %v, clients %v", id, got, tal.status(id, 504))
+		}
+		if got := total[`tasq_shed_total{reason="client_gone"}`]; got != 0 {
+			return fmt.Errorf("fleet reconcile %s shed{client_gone}: %v, want 0", id, got)
+		}
+
+		fleetOKJobs += total[`tasq_score_jobs_total{outcome="ok"}`]
+		fleetFailedJobs += total[`tasq_score_jobs_total{outcome="failed"}`]
+		fleetRejectedJobs += total[`tasq_score_jobs_total{outcome="rejected"}`]
+		fleetSingles2xx += float64(tal.class(id, "/v1/score", "2xx"))
+		fleetScore4xx += float64(tal.class(id, "/v1/score", "4xx"))
+
+		// Quiesced gauges come from the live incarnation only.
+		now, err := r.MetricsNow()
+		if err != nil {
+			return err
+		}
+		for _, gauge := range []string{"tasq_admission_queue_depth", "tasq_admission_in_flight"} {
+			if got := now[gauge]; got != 0 {
+				return fmt.Errorf("fleet %s gauge %s = %v after quiesce, want 0", id, gauge, got)
+			}
+		}
+	}
+
+	// No lost scores, fleet-wide: every ok job the members counted is a
+	// 200 some client received — a single-score 200 or a batch item in a
+	// delivered envelope — except items stranded when a sibling group
+	// failed the envelope, which are bounded by the stranded cap.
+	cnt.mu.Lock()
+	itemsOK, stranded := cnt.itemsOK, cnt.strandedCap
+	cnt.mu.Unlock()
+	delivered := fleetSingles2xx + float64(itemsOK)
+	if fleetOKJobs < delivered {
+		return fmt.Errorf("fleet reconcile scored-ok: members %v < delivered %v (singles %v + items %d) — scores lost",
+			fleetOKJobs, delivered, fleetSingles2xx, itemsOK)
+	}
+	if fleetOKJobs > delivered+float64(stranded) {
+		return fmt.Errorf("fleet reconcile scored-ok: members %v > delivered %v + stranded cap %d — double count",
+			fleetOKJobs, delivered, stranded)
+	}
+	if fleetFailedJobs != 0 {
+		return fmt.Errorf("fleet reconcile: %v failed jobs with no injected scoring faults", fleetFailedJobs)
+	}
+	if fleetRejectedJobs != fleetScore4xx {
+		return fmt.Errorf("fleet reconcile rejected jobs: members %v, client 4xx %v", fleetRejectedJobs, fleetScore4xx)
+	}
+	return nil
+}

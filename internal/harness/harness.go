@@ -378,6 +378,10 @@ func rateOf(p faults.Profile, site string) float64 {
 		return p.RegistrySlowRate
 	case faults.SiteRegistryCorrupt:
 		return p.RegistryCorruptRate
+	case faults.SiteReplicaKill:
+		return p.ReplicaKillRate
+	case faults.SiteReplicaPartition:
+		return p.ReplicaPartitionRate
 	}
 	return 0
 }

@@ -1,0 +1,90 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestCrossProcessPublishCollision drives the version-collision retry
+// path the in-process mutex normally hides: two *independent* Registry
+// instances over one directory — the moral equivalent of two tasqd
+// processes sharing a filesystem registry — publish at the same instant,
+// so both compute the same next version and one of them must lose the
+// O_EXCL claim and retry. Every round must end with two distinct new
+// versions, each payload intact under its checksum.
+func TestCrossProcessPublishCollision(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 10
+	for round := 0; round < rounds; round++ {
+		payloadA := fmt.Sprintf("instance-a round %d", round)
+		payloadB := fmt.Sprintf("instance-b round %d", round)
+
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		results := make([]struct {
+			v   int
+			err error
+		}, 2)
+		for i, pub := range []struct {
+			reg     *Registry
+			payload string
+		}{{a, payloadA}, {b, payloadB}} {
+			wg.Add(1)
+			go func(i int, reg *Registry, payload string) {
+				defer wg.Done()
+				<-start
+				results[i].v, results[i].err = reg.Publish([]byte(payload), Manifest{Format: "test/raw"})
+			}(i, pub.reg, pub.payload)
+		}
+		close(start)
+		wg.Wait()
+
+		for i, r := range results {
+			if r.err != nil {
+				t.Fatalf("round %d publisher %d: %v", round, i, r.err)
+			}
+		}
+		if results[0].v == results[1].v {
+			t.Fatalf("round %d: both publishers claimed v%d", round, results[0].v)
+		}
+
+		// Each instance reads the other's version back through the
+		// checksum gate: a torn or half-claimed publish fails here.
+		got, _, err := b.Get(results[0].v)
+		if err != nil || string(got) != payloadA {
+			t.Fatalf("round %d: b reading a's v%d: %q, %v", round, results[0].v, got, err)
+		}
+		got, _, err = a.Get(results[1].v)
+		if err != nil || string(got) != payloadB {
+			t.Fatalf("round %d: a reading b's v%d: %q, %v", round, results[1].v, got, err)
+		}
+	}
+
+	// Both instances converge on the same dense version history.
+	va, err := a.Versions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := b.Versions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(va) != 2*rounds || len(vb) != 2*rounds {
+		t.Fatalf("version counts %d/%d, want %d", len(va), len(vb), 2*rounds)
+	}
+	for i, v := range va {
+		if v != i+1 || vb[i] != i+1 {
+			t.Fatalf("non-dense version history: a=%v b=%v", va, vb)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package registry
+
+import (
+	"strings"
+)
+
+// Promotion-wave annotations. A rolling fleet promotion records its
+// progress on the candidate version's manifest, so any process sharing
+// the registry — replicas, operators, a later wave — can see where the
+// wave stands: which replica canaried it, how far adoption got, and how
+// it ended. Annotations ride the manifest (payload untouched, checksum
+// intact) and are written by a single wave controller at a time.
+const (
+	// WaveStateKey holds the wave's phase: one of the WaveState* values.
+	WaveStateKey = "wave.state"
+	// WaveCanaryKey names the replica that shadow-scored the candidate.
+	WaveCanaryKey = "wave.canary"
+	// WaveAdoptedKey lists the replicas serving this version,
+	// comma-separated in adoption order.
+	WaveAdoptedKey = "wave.adopted"
+)
+
+// Wave states, in lifecycle order.
+const (
+	// WaveStateCanary: the candidate is shadow-scoring on the canary.
+	WaveStateCanary = "canary"
+	// WaveStateRejected: the canary comparison failed; the fleet never
+	// adopted the candidate.
+	WaveStateRejected = "rejected"
+	// WaveStatePromoting: the candidate won and is waving through the
+	// fleet.
+	WaveStatePromoting = "promoting"
+	// WaveStateComplete: every replica adopted it and the guardrail
+	// passed.
+	WaveStateComplete = "complete"
+	// WaveStateRolledBack: the post-promotion guardrail fired; the fleet
+	// was re-pinned to the previous generation.
+	WaveStateRolledBack = "rolled-back"
+)
+
+// WaveStatus is the decoded wave progress of one version.
+type WaveStatus struct {
+	// State is "" when no wave ever touched this version.
+	State   string
+	Canary  string
+	Adopted []string
+}
+
+// SetWaveState records the wave phase on a candidate's manifest; canary,
+// when non-empty, is recorded once alongside it.
+func (r *Registry) SetWaveState(version int, state, canary string) error {
+	kv := map[string]string{WaveStateKey: state}
+	if canary != "" {
+		kv[WaveCanaryKey] = canary
+	}
+	return r.Annotate(version, kv)
+}
+
+// MarkWaveAdopted appends a replica to the version's adoption list;
+// re-marking an adopted replica is a no-op (a restarted replica re-syncs
+// the same version).
+func (r *Registry) MarkWaveAdopted(version int, member string) error {
+	st, err := r.WaveStatus(version)
+	if err != nil {
+		return err
+	}
+	for _, m := range st.Adopted {
+		if m == member {
+			return nil
+		}
+	}
+	st.Adopted = append(st.Adopted, member)
+	return r.Annotate(version, map[string]string{WaveAdoptedKey: strings.Join(st.Adopted, ",")})
+}
+
+// WaveStatus reads a version's wave progress; a version no wave touched
+// returns the zero status.
+func (r *Registry) WaveStatus(version int) (WaveStatus, error) {
+	m, err := r.Manifest(version)
+	if err != nil {
+		return WaveStatus{}, err
+	}
+	st := WaveStatus{
+		State:  m.Annotations[WaveStateKey],
+		Canary: m.Annotations[WaveCanaryKey],
+	}
+	if list := m.Annotations[WaveAdoptedKey]; list != "" {
+		st.Adopted = strings.Split(list, ",")
+	}
+	return st, nil
+}

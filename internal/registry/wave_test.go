@@ -1,0 +1,89 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestWaveAnnotations(t *testing.T) {
+	r := open(t)
+	v := publish(t, r, "candidate")
+
+	// Untouched version: zero status, no error.
+	st, err := r.WaveStatus(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "" || st.Canary != "" || len(st.Adopted) != 0 {
+		t.Fatalf("fresh version wave status %+v, want zero", st)
+	}
+
+	if err := r.SetWaveState(v, WaveStateCanary, "r0"); err != nil {
+		t.Fatal(err)
+	}
+	st, err = r.WaveStatus(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != WaveStateCanary || st.Canary != "r0" {
+		t.Fatalf("wave status %+v, want canary/r0", st)
+	}
+
+	// A later state change without a canary argument keeps the recorded
+	// canary.
+	if err := r.SetWaveState(v, WaveStatePromoting, ""); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = r.WaveStatus(v)
+	if st.State != WaveStatePromoting || st.Canary != "r0" {
+		t.Fatalf("wave status %+v, want promoting with canary preserved", st)
+	}
+
+	for _, m := range []string{"r0", "r2", "r1"} {
+		if err := r.MarkWaveAdopted(v, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-marking is idempotent: a restarted replica re-syncing the same
+	// version must not duplicate itself.
+	if err := r.MarkWaveAdopted(v, "r2"); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = r.WaveStatus(v)
+	if got := fmt.Sprint(st.Adopted); got != "[r0 r2 r1]" {
+		t.Fatalf("adopted %s, want [r0 r2 r1] (adoption order, no duplicates)", got)
+	}
+
+	// Annotations survive a reopen — they live in the manifest.
+	r2, err := Open(r.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = r2.WaveStatus(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != WaveStatePromoting || st.Canary != "r0" || len(st.Adopted) != 3 {
+		t.Fatalf("reopened wave status %+v", st)
+	}
+
+	// The payload and its checksum are untouched by annotation rewrites.
+	payload, m, err := r.Get(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(payload) != "candidate" || m.SHA256 == "" {
+		t.Fatalf("payload %q after annotations", payload)
+	}
+
+	if _, err := r.WaveStatus(99); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing version error %v, want ErrNotFound", err)
+	}
+	if err := r.SetWaveState(99, WaveStateCanary, "r0"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing version error %v, want ErrNotFound", err)
+	}
+	if err := r.MarkWaveAdopted(99, "r0"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing version error %v, want ErrNotFound", err)
+	}
+}

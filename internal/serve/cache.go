@@ -131,18 +131,35 @@ func newCurveCache(capacity int, met *cacheMetrics) *curveCache {
 	return c
 }
 
-// shardFor picks the shard by FNV-1a over the key bytes.
+// shardFor picks the shard by hashing the key 8 bytes at a time through
+// the SplitMix64 finalizer. Cache keys are full feature encodings —
+// hundreds of bytes — and every get/put hashes one, so the word-at-a-time
+// walk (vs byte-at-a-time FNV) is what keeps shard selection out of the
+// cached-score profile. Only shard balance matters here, not a stable
+// cross-process value, but the length fold keeps zero-padded extensions
+// of a key from colliding anyway.
 func (c *curveCache) shardFor(key []byte) *cacheShard {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for _, b := range key {
-		h ^= uint64(b)
-		h *= prime64
+	h := uint64(14695981039346656037) ^ uint64(len(key))
+	for len(key) >= 8 {
+		h = splitmix64(h ^ binary.LittleEndian.Uint64(key))
+		key = key[8:]
 	}
-	return &c.shards[h%uint64(len(c.shards))]
+	if len(key) > 0 {
+		var tail uint64
+		for i, b := range key {
+			tail |= uint64(b) << (8 * uint(i))
+		}
+		h = splitmix64(h ^ tail)
+	}
+	return &c.shards[splitmix64(h)%uint64(len(c.shards))]
+}
+
+// splitmix64 is the SplitMix64 finalizer: full avalanche in three
+// multiply-xor-shift rounds.
+func splitmix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // get returns the memoized score for the exact key, refreshing its LRU

@@ -42,3 +42,7 @@ func putScoreResponse(r *ScoreResponse) {
 	*r = ScoreResponse{Predictions: preds}
 	scoreRespPool.Put(r)
 }
+
+// Release returns a response obtained from Server.ScoreLocal to the
+// reuse pool; the response must not be touched afterwards.
+func (r *ScoreResponse) Release() { putScoreResponse(r) }

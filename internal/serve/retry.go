@@ -169,6 +169,14 @@ func (b *Breaker) Allow() bool {
 	}
 }
 
+// Record feeds an externally observed outcome into the breaker. The
+// client's own retry loop records automatically; Record exists for
+// out-of-band observations — the ClusterClient's health probe hits
+// /readyz outside the breaker (retryNone bypasses it, so a probe can
+// reach an open-circuited member) and reports the verdict here, which is
+// what closes the circuit again on half-open probe success.
+func (b *Breaker) Record(ok bool) { b.record(ok) }
+
 // record feeds an attempt outcome back. Closed: failures count up to the
 // trip threshold, a success resets them. Half-open: the probe's outcome
 // closes or re-opens the circuit. Open: late results from requests

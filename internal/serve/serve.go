@@ -283,6 +283,11 @@ type Server struct {
 	telemetryRejected *obs.Counter
 	telemetryShed     *obs.Counter
 
+	// clusterID and clusterPeers identify this server's place in a tasqd
+	// fleet; GET /v1/cluster answers 404 until WithClusterInfo sets them.
+	clusterID    string
+	clusterPeers []string
+
 	scoreOK       *obs.Counter
 	scoreRejected *obs.Counter
 	scoreFailed   *obs.Counter
@@ -453,6 +458,7 @@ func newServer(p scorer, opts ...Option) (*Server, error) {
 	s.route("/v1/score/batch", s.gated(http.HandlerFunc(s.handleScoreBatch)))
 	s.route("/v1/telemetry", s.gated(http.HandlerFunc(s.handleTelemetry)))
 	s.route("/v1/models", http.HandlerFunc(s.handleModels))
+	s.route("/v1/cluster", http.HandlerFunc(s.handleCluster))
 	s.route("/v1/admin/reload", http.HandlerFunc(s.handleAdminReload))
 	s.mux.Handle("/metrics", s.reg.Handler())
 	return s, nil
@@ -626,6 +632,14 @@ func (s *Server) scoreSingle(req *ScoreRequest) (*ScoreResponse, error) {
 		return nil, fmt.Errorf("serve: scoring: %w", err)
 	}
 	return s.score(req)
+}
+
+// ScoreLocal scores one request in process, bypassing HTTP — the entry
+// point for embedders (and the fleet benchmarks) that colocate the
+// caller with a member. The returned response is pooled: call Release
+// when done with it and touch nothing afterwards.
+func (s *Server) ScoreLocal(req *ScoreRequest) (*ScoreResponse, error) {
+	return s.scoreSingle(req)
 }
 
 // ModelsResponse lists the predictors the loaded pipeline can serve.

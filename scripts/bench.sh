@@ -9,7 +9,10 @@
 #                        bench_test.go): cached vs uncached single-score
 #                        ns/op and allocs/op, scores/sec serially and at
 #                        GOMAXPROCS clients, p50/p99 latency through the
-#                        admission gate, and batch throughput
+#                        admission gate, and batch throughput; plus the
+#                        sharded-fleet routing number (internal/cluster
+#                        bench_test.go): consistent-hash ring pick +
+#                        cached score on the owning member
 #
 # Both files derive jobs/sec (scores/sec) in ONE place — the shared awk
 # program below — from ns/op and the benchmark's constant jobs/op metric,
@@ -31,8 +34,8 @@ trap 'rm -f "$raw" "$sraw"' EXIT
 echo "== go test -bench=BenchmarkPipeline -benchtime=$benchtime" >&2
 go test -run='^$' -bench='^BenchmarkPipeline' -benchtime="$benchtime" -count=1 . | tee "$raw" >&2
 
-echo "== go test ./internal/serve -bench='Benchmark(Score|Batch)' -benchtime=${SERVING_BENCHTIME:-100x}" >&2
-go test -run='^$' -bench='^Benchmark(Score|Batch)' -benchtime="${SERVING_BENCHTIME:-100x}" -count=1 ./internal/serve | tee "$sraw" >&2
+echo "== go test ./internal/serve ./internal/cluster -bench='Benchmark(Score|Batch)' -benchtime=${SERVING_BENCHTIME:-100x}" >&2
+go test -run='^$' -bench='^Benchmark(Score|Batch)' -benchtime="${SERVING_BENCHTIME:-100x}" -count=1 ./internal/serve ./internal/cluster | tee "$sraw" >&2
 
 goversion=$(go env GOVERSION)
 cpus=$(go run ./scripts/ncpu 2>/dev/null || getconf _NPROCESSORS_ONLN)
