@@ -8,11 +8,12 @@
 #   make chaos     deterministic chaos/soak harness under the race detector
 #   make autopilot-soak  continuous-learning loop under drift + faults (-race)
 #   make cluster-soak    sharded-fleet chaos suite: kill/partition/restart (-race)
-#   make bench     benchmarks -> BENCH_pipeline.json + BENCH_serving.json
+#   make plan-soak       cluster planner at scale: ~1M simulated jobs, savings + reproducibility
+#   make bench     benchmarks -> BENCH_pipeline.json + BENCH_serving.json + BENCH_planner.json
 
 GO ?= go
 
-.PHONY: build test race vet fmt check coverage chaos autopilot-soak cluster-soak bench bench-smoke
+.PHONY: build test race vet fmt check coverage chaos autopilot-soak cluster-soak plan-soak bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -28,7 +29,7 @@ vet:
 # ingest/augmentation/training/experiments across a worker pool. Keep all
 # of it provably race-clean (mirrors scripts/check.sh).
 race:
-	$(GO) test -race ./internal/serve/... ./internal/obs/... ./internal/registry/... ./internal/model/... ./internal/faults/... ./internal/autopilot/... ./internal/drift/... ./internal/cluster/... ./cmd/tasqd/...
+	$(GO) test -race ./internal/serve/... ./internal/obs/... ./internal/registry/... ./internal/model/... ./internal/faults/... ./internal/autopilot/... ./internal/drift/... ./internal/cluster/... ./internal/plan/... ./cmd/tasqd/...
 	$(GO) test -race ./internal/parallel/... ./internal/flight/... ./internal/trainer/... ./internal/experiments/...
 
 # Seeded fault-injection chaos/soak runs over the serving stack (three
@@ -55,6 +56,14 @@ autopilot-soak:
 cluster-soak:
 	$(GO) test -race -short -run 'TestFleet(Chaos|Reproducibility)' -count=1 ./internal/harness/...
 
+# Planner soak: seeded batches through the shared allocation core and the
+# serving planner, asserting cluster-level token savings vs. the Peak and
+# AutoToken baselines plus event-for-event same-seed reproducibility.
+# -short plans 60 batches for the CI budget; the full run (no -short)
+# pushes one million simulated jobs: 1,000 plans x 1,000 jobs x 3 lanes.
+plan-soak:
+	$(GO) test -race -short -run 'TestPlanSoak' -count=1 ./internal/harness/...
+
 coverage:
 	scripts/coverage.sh
 
@@ -66,10 +75,11 @@ bench:
 # train full models and stay out of the per-merge gate).
 bench-smoke:
 	$(GO) test -run='^$$' -bench='^Benchmark(Score|Batch)' -benchtime=1x -count=1 ./internal/serve/ ./internal/cluster/
+	$(GO) test -run='^$$' -bench='^BenchmarkPlan' -benchtime=1x -count=1 ./internal/plan/
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt: needs formatting:"; echo "$$out"; exit 1; fi
 
-check: fmt vet test race chaos autopilot-soak cluster-soak bench-smoke
+check: fmt vet test race chaos autopilot-soak cluster-soak plan-soak bench-smoke
 	@echo "check: ok"

@@ -15,6 +15,8 @@
 //	tasq flight   -data repo.jsonl -k 8 -sample 100 -seed 1
 //	tasq score    -data repo.jsonl -model model.gob -job <id> [-threshold 0.01]
 //	              [-predictor NN] [-policy GNN,NN]
+//	tasq plan     -data repo.jsonl -model model.gob -capacity 400 [-n 100]
+//	              [-alloc optimal] [-threshold 0.01] [-predictor NN] [-addr http://host:8080]
 //	tasq registry <list|show|pin|unpin|gc> -dir models/ [-version N] [-keep N]
 //
 // With -registry, train publishes the model into the versioned model
@@ -35,9 +37,11 @@ import (
 	"tasq/internal/flight"
 	"tasq/internal/jobrepo"
 	"tasq/internal/model"
+	"tasq/internal/plan"
 	"tasq/internal/registry"
 	"tasq/internal/scopesim"
 	"tasq/internal/selection"
+	"tasq/internal/serve"
 	"tasq/internal/stats"
 	"tasq/internal/trainer"
 	"tasq/internal/workload"
@@ -72,6 +76,8 @@ func run(args []string) error {
 		return cmdFlight(args[1:])
 	case "score":
 		return cmdScore(args[1:])
+	case "plan":
+		return cmdPlan(args[1:])
 	case "registry":
 		return cmdRegistry(args[1:])
 	case "help", "-h", "--help":
@@ -84,7 +90,7 @@ func run(args []string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: tasq <generate|stats|train|evaluate|simulate|select|flight|score|registry> [flags]
+	fmt.Fprintln(os.Stderr, `usage: tasq <generate|stats|train|evaluate|simulate|select|flight|score|plan|registry> [flags]
 run "tasq <subcommand> -h" for flags`)
 }
 
@@ -542,4 +548,131 @@ func cmdScore(args []string) error {
 		fmt.Printf("  %4d tokens -> %7.1fs\n", tok, curve.Runtime(float64(tok)))
 	}
 	return nil
+}
+
+// cmdPlan allocates a batch of repository jobs against a shared token
+// pool: scoring each job's PCC, applying the chosen allocation policy,
+// and simulating the FCFS queue. With -addr the batch is posted to a
+// live tasqd's /v1/plan; otherwise planning runs in process from -model.
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
+	data := fs.String("data", "repo.jsonl", "repository JSONL")
+	modelPath := fs.String("model", "model.gob", "trained model path (local mode)")
+	addr := fs.String("addr", "", "base URL of a running tasqd; empty plans locally from -model")
+	n := fs.Int("n", 0, "jobs to plan (0 = the whole repository)")
+	capacity := fs.Int("capacity", 400, "pool capacity in guaranteed tokens")
+	alloc := fs.String("alloc", "optimal", "allocation policy: default, peak, adaptive-peak or optimal")
+	threshold := fs.Float64("threshold", 0.01, "optimal-allocation threshold (marginal gain per token)")
+	predictor := fs.String("predictor", "", "score with this predictor (e.g. NN, AutoToken); empty follows the fallback policy")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	repo, err := jobrepo.LoadFile(*data)
+	if err != nil {
+		return err
+	}
+	recs := repo.All()
+	if len(recs) == 0 {
+		return fmt.Errorf("repository is empty")
+	}
+	if *n > 0 && *n < len(recs) {
+		recs = recs[:*n]
+	}
+
+	if *addr != "" {
+		req := &serve.PlanRequest{
+			CapacityTokens: *capacity,
+			Policy:         *alloc,
+			Model:          *predictor,
+			Threshold:      *threshold,
+		}
+		for _, rec := range recs {
+			req.Jobs = append(req.Jobs, rec.Job)
+		}
+		resp, err := serve.NewClient(*addr).Plan(req)
+		if err != nil {
+			return err
+		}
+		printPlan(resp)
+		return nil
+	}
+
+	p, err := trainer.LoadPipelineFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	policy, err := plan.ParsePolicyKind(*alloc)
+	if err != nil {
+		return err
+	}
+	specs := make([]plan.JobSpec, len(recs))
+	served := make([]string, len(recs))
+	for i, rec := range recs {
+		curve, name, err := p.ScoreJobModel(*predictor, rec.Job)
+		if err != nil {
+			return fmt.Errorf("scoring job %s: %w", rec.Job.ID, err)
+		}
+		specs[i] = plan.JobSpec{
+			ID:              rec.Job.ID,
+			RequestedTokens: rec.Job.RequestedTokens,
+			PeakTokens:      rec.Job.PeakParallelism(),
+			Curve:           curve,
+		}
+		served[i] = name
+	}
+	built, err := plan.Build(specs, plan.Config{Capacity: *capacity, Policy: policy, Threshold: *threshold})
+	if err != nil {
+		return err
+	}
+	resp := &serve.PlanResponse{
+		Policy:                   built.Policy.String(),
+		CapacityTokens:           built.Capacity,
+		MakespanSeconds:          built.Stats.MakespanSeconds,
+		MeanWaitSeconds:          built.Stats.MeanWaitSeconds,
+		MaxWaitSeconds:           built.Stats.MaxWaitSeconds,
+		TotalTokenSeconds:        built.Stats.TotalTokenSeconds,
+		PeakBaselineTokenSeconds: built.Stats.TotalTokenSeconds,
+	}
+	if base, err := plan.Build(specs, plan.Config{Capacity: *capacity, Policy: plan.PolicyPeak}); err == nil {
+		resp.PeakBaselineTokenSeconds = base.Stats.TotalTokenSeconds
+	}
+	resp.SavedTokenSeconds = resp.PeakBaselineTokenSeconds - resp.TotalTokenSeconds
+	for i, out := range built.Outcomes {
+		resp.Jobs = append(resp.Jobs, serve.PlanJobJSON{
+			ID:                      out.ID,
+			Model:                   served[i],
+			Tokens:                  built.Allocations[i].Tokens,
+			PredictedRuntimeSeconds: built.Allocations[i].DurationSeconds,
+			StartSecond:             out.StartSecond,
+			WaitSeconds:             out.WaitSeconds,
+			EndSecond:               out.EndSecond,
+		})
+	}
+	printPlan(resp)
+	return nil
+}
+
+// printPlan renders a plan: the first jobs row by row, then the
+// cluster-level cost and queueing summary.
+func printPlan(resp *serve.PlanResponse) {
+	fmt.Printf("planned %d jobs under %s (pool %d tokens)\n",
+		len(resp.Jobs), resp.Policy, resp.CapacityTokens)
+	const maxRows = 10
+	fmt.Printf("%-14s %-14s %7s %9s %7s %6s %7s\n", "JOB", "MODEL", "TOKENS", "RUNTIME_S", "START", "WAIT", "END")
+	for i, j := range resp.Jobs {
+		if i == maxRows {
+			fmt.Printf("… %d more jobs\n", len(resp.Jobs)-maxRows)
+			break
+		}
+		fmt.Printf("%-14s %-14s %7d %9d %7d %6d %7d\n",
+			j.ID, j.Model, j.Tokens, j.PredictedRuntimeSeconds, j.StartSecond, j.WaitSeconds, j.EndSecond)
+	}
+	fmt.Printf("makespan %ds, queue wait mean %.1fs max %ds\n",
+		resp.MakespanSeconds, resp.MeanWaitSeconds, resp.MaxWaitSeconds)
+	savedPct := 0.0
+	if resp.PeakBaselineTokenSeconds > 0 {
+		savedPct = 100 * float64(resp.SavedTokenSeconds) / float64(resp.PeakBaselineTokenSeconds)
+	}
+	fmt.Printf("cost %d token-seconds vs %d peak baseline: saved %d (%.1f%%)\n",
+		resp.TotalTokenSeconds, resp.PeakBaselineTokenSeconds, resp.SavedTokenSeconds, savedPct)
 }

@@ -26,6 +26,9 @@ func TestCLIWorkflow(t *testing.T) {
 		{"score", "-data", repo, "-model", model},
 		{"score", "-data", repo, "-model", model, "-predictor", "jockey"},
 		{"score", "-data", repo, "-model", model, "-policy", "XGBoost-PL,NN"},
+		{"plan", "-data", repo, "-model", model, "-capacity", "400", "-n", "50"},
+		{"plan", "-data", repo, "-model", model, "-capacity", "400", "-alloc", "peak"},
+		{"plan", "-data", repo, "-model", model, "-capacity", "200", "-predictor", "jockey", "-threshold", "0.05"},
 	}
 	for _, args := range steps {
 		if err := run(args); err != nil {
@@ -41,6 +44,16 @@ func TestCLIWorkflow(t *testing.T) {
 	}
 	if err := run([]string{"score", "-data", repo, "-model", model, "-predictor", "GNN"}); err == nil {
 		t.Fatal("untrained GNN accepted by score on a -skip-gnn model")
+	}
+	// Planning inherits the same routing discipline plus pool validation.
+	if err := run([]string{"plan", "-data", repo, "-model", model, "-predictor", "resnet"}); err == nil {
+		t.Fatal("unknown predictor accepted by plan")
+	}
+	if err := run([]string{"plan", "-data", repo, "-model", model, "-capacity", "0"}); err == nil {
+		t.Fatal("zero-capacity pool accepted by plan")
+	}
+	if err := run([]string{"plan", "-data", repo, "-model", model, "-alloc", "lifo"}); err == nil {
+		t.Fatal("unknown allocation policy accepted by plan")
 	}
 }
 

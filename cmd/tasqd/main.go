@@ -9,6 +9,7 @@
 //	GET  /metrics          Prometheus text-format metrics
 //	POST /v1/score         job scoring (see internal/serve for the schema)
 //	POST /v1/score/batch   concurrent batch scoring
+//	POST /v1/plan          cluster planning: allocate a job batch against a token pool
 //	GET  /v1/models        the loaded pipeline's predictor set
 //	GET  /v1/cluster       fleet identity and serving state (-cluster-id mode)
 //	POST /v1/admin/reload  immediate registry sync (registry mode)
@@ -135,6 +136,7 @@ func run(ctx context.Context, args []string) error {
 	maxInFlight := fs.Int("max-inflight", 0, "max concurrently executing scoring requests (0 = default)")
 	maxQueue := fs.Int("max-queue", -1, "max scoring requests queued behind the in-flight limit before shedding 429 (-1 = default)")
 	curveCache := fs.Int("curve-cache", serve.DefaultCurveCacheCap, "memoized-curve cache capacity per model generation (<= 0 disables)")
+	maxPlanJobs := fs.Int("max-plan-jobs", serve.DefaultMaxPlanJobs, "max jobs accepted per POST /v1/plan request")
 	queueWait := fs.Duration("queue-wait", 0, "max time a scoring request may wait in the admission queue before shedding 504 (0 = default)")
 	autopilotOn := fs.Bool("autopilot", false, "close the learning loop: ingest /v1/telemetry, detect drift, retrain, auto-promote with a rollback guardrail (requires -registry)")
 	driftThreshold := fs.Float64("drift-threshold", drift.DefaultConfig().Threshold, "relative-error EWMA above which the drift alarm fires a retrain (autopilot mode)")
@@ -167,6 +169,7 @@ func run(ctx context.Context, args []string) error {
 	}
 	opts = append(opts, serve.WithAdmission(*maxInFlight, *maxQueue, *queueWait))
 	opts = append(opts, serve.WithCurveCache(*curveCache))
+	opts = append(opts, serve.WithMaxPlanJobs(*maxPlanJobs))
 	if *clusterID != "" {
 		opts = append(opts, serve.WithClusterInfo(*clusterID, peers))
 	}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -691,5 +692,38 @@ func TestAutopilotModeWiring(t *testing.T) {
 	defer win.Close()
 	if win.Len() != 10 {
 		t.Fatalf("persisted window holds %d records, want 10", win.Len())
+	}
+}
+
+// TestServesPlan boots tasqd over a trained model and plans a small batch
+// through POST /v1/plan, with -max-plan-jobs enforcing the request cap.
+func TestServesPlan(t *testing.T) {
+	client, job, stop := bootDaemon(t, nil, "-max-plan-jobs", "2")
+	defer stop()
+
+	resp, err := client.Plan(&serve.PlanRequest{
+		Jobs:           []*scopesim.Job{job, job},
+		CapacityTokens: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Jobs) != 2 || resp.Policy != "Optimal Allocation" {
+		t.Fatalf("plan response %+v", resp)
+	}
+	for i, pj := range resp.Jobs {
+		if pj.Tokens < 1 || pj.Tokens > 200 || pj.PredictedRuntimeSeconds < 1 {
+			t.Fatalf("planned job %d: %+v", i, pj)
+		}
+	}
+
+	// The third job breaches -max-plan-jobs 2 → 400.
+	_, err = client.Plan(&serve.PlanRequest{
+		Jobs:           []*scopesim.Job{job, job, job},
+		CapacityTokens: 200,
+	})
+	var se *serve.StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("over-cap plan: %v, want 400", err)
 	}
 }

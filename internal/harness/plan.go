@@ -1,0 +1,307 @@
+// Planner soak: the scale-and-determinism scenario for the cluster
+// planner. It boots a quick-trained serving stack in-process, pushes on
+// the order of a million simulated jobs through PlanLocal from seeded
+// parallel workers, and proves the paper's cluster-level claim: the
+// Optimal allocation policy provisions measurably fewer token-seconds
+// than the Peak-allocation baseline and the AutoToken (§6.2) baseline
+// without giving up throughput (the optimal makespan never exceeds the
+// peak makespan on the same batch). A few plans additionally travel the
+// real POST /v1/plan wire and must match the in-process result event for
+// event. Every allocation decision folds into an FNV-1a fingerprint, so
+// two runs with the same seed must agree bit for bit.
+package harness
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net/http/httptest"
+	"sync"
+
+	"tasq/internal/jobrepo"
+	"tasq/internal/parallel"
+	"tasq/internal/scopesim"
+	"tasq/internal/serve"
+	"tasq/internal/trainer"
+	"tasq/internal/workload"
+)
+
+// PlanSoakConfig parameterizes one planner soak run.
+type PlanSoakConfig struct {
+	// Seed fixes the training set, every plan's job sample and arrivals.
+	Seed int64
+	// Plans is the number of planned batches (0 = 1000, or 60 when Short).
+	Plans int
+	// JobsPerPlan is the batch size (0 = 1000).
+	JobsPerPlan int
+	// Capacity is the pool's guaranteed-token capacity (0 = 2000).
+	Capacity int
+	// Workers sizes the planning worker pool (0 = 4). The result is
+	// worker-count independent: per-plan outcomes are folded in plan order.
+	Workers int
+	// HTTPPlans is how many plans are additionally driven through the real
+	// POST /v1/plan endpoint and cross-checked against PlanLocal (0 = 3).
+	HTTPPlans int
+	// Short trims the run for -short CI.
+	Short bool
+	// Logf receives progress lines (optional).
+	Logf func(format string, args ...any)
+}
+
+// PlanSoakResult aggregates a soak run; Fingerprint is the same-seed
+// reproducibility artifact.
+type PlanSoakResult struct {
+	// Plans and Jobs count the planned batches and jobs across the run.
+	Plans int
+	Jobs  int
+	// OptimalTokenSeconds / PeakTokenSeconds / AutoTokenSeconds are the
+	// cluster-wide provisioned costs of the three allocation lanes over
+	// identical batches.
+	OptimalTokenSeconds int64
+	PeakTokenSeconds    int64
+	AutoTokenSeconds    int64
+	// OptimalMakespanSeconds / PeakMakespanSeconds are summed per-plan
+	// makespans; optimal ≤ peak is the throughput claim.
+	OptimalMakespanSeconds int64
+	PeakMakespanSeconds    int64
+	// SavedVsPeakFraction / SavedVsAutoFraction are the relative savings
+	// of the Optimal lane against each baseline.
+	SavedVsPeakFraction float64
+	SavedVsAutoFraction float64
+	// Fingerprint folds every allocation decision of every lane, in plan
+	// order — equal seeds must yield equal fingerprints.
+	Fingerprint uint64
+	// HTTPPlans counts the plans verified over the wire.
+	HTTPPlans int
+}
+
+// planSoakDefaults fills the zero values.
+func (cfg *PlanSoakConfig) defaults() {
+	if cfg.Plans <= 0 {
+		if cfg.Short {
+			cfg.Plans = 60
+		} else {
+			cfg.Plans = 1000
+		}
+	}
+	if cfg.JobsPerPlan <= 0 {
+		cfg.JobsPerPlan = 1000
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 2000
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.HTTPPlans <= 0 {
+		cfg.HTTPPlans = 3
+	}
+}
+
+// planLane is one allocation strategy driven over a batch.
+type planLane struct {
+	policy string
+	model  string
+}
+
+// soakLanes are the three compared strategies. Order matters: the
+// fingerprint folds lanes in this order.
+var soakLanes = []planLane{
+	{policy: "optimal"},                     // TASQ: trained-model PCC, sub-peak optimal
+	{policy: "peak"},                        // Peak-allocation baseline
+	{policy: "optimal", model: "AutoToken"}, // AutoToken-driven (§6.2) baseline
+}
+
+// planOutcome is one lane's aggregate over one plan.
+type planOutcome struct {
+	cost     int64
+	makespan int64
+	hash     uint64
+}
+
+// hashPlan fingerprints a plan response: every job's allocation and
+// schedule, in order.
+func hashPlan(resp *serve.PlanResponse) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	h.Write([]byte(resp.Policy))
+	word(resp.CapacityTokens)
+	word(resp.TotalTokenSeconds)
+	word(resp.MakespanSeconds)
+	for _, j := range resp.Jobs {
+		h.Write([]byte(j.ID))
+		word(j.Tokens)
+		word(j.PredictedRuntimeSeconds)
+		word(j.StartSecond)
+		word(j.WaitSeconds)
+		word(j.EndSecond)
+	}
+	return h.Sum64()
+}
+
+// soakRequest builds plan p's batch: jobs sampled (with replacement) from
+// the covered pool plus a bursty arrival schedule, both a pure function
+// of (seed, p).
+func soakRequest(seed int64, p int, pool []*scopesim.Job, cfg *PlanSoakConfig) *serve.PlanRequest {
+	rng := rand.New(rand.NewSource(parallel.Seed(seed, p)))
+	req := &serve.PlanRequest{
+		CapacityTokens: cfg.Capacity,
+		Jobs:           make([]*scopesim.Job, cfg.JobsPerPlan),
+		ArrivalSeconds: make([]int, cfg.JobsPerPlan),
+	}
+	arrival := 0
+	for i := range req.Jobs {
+		req.Jobs[i] = pool[rng.Intn(len(pool))]
+		req.ArrivalSeconds[i] = arrival
+		arrival += rng.Intn(3) // bursty: ~1s mean inter-arrival keeps a backlog
+	}
+	return req
+}
+
+// RunPlanSoak executes one planner soak end to end. Any invariant
+// violation surfaces as an error.
+func RunPlanSoak(cfg PlanSoakConfig) (*PlanSoakResult, error) {
+	cfg.defaults()
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	// ---- Boot: quick-train over the seeded workload, serve in-process.
+	g := workload.New(workload.TestConfig(cfg.Seed))
+	repo := jobrepo.New()
+	var ex scopesim.Executor
+	if err := repo.Ingest(g.Workload(40), &ex); err != nil {
+		return nil, err
+	}
+	tcfg := trainer.DefaultConfig(cfg.Seed)
+	tcfg.XGB.NumTrees = 8
+	tcfg.SkipNN = true
+	tcfg.SkipGNN = true
+	p, err := trainer.Train(repo.All(), tcfg)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := serve.NewServer(p)
+	if err != nil {
+		return nil, err
+	}
+
+	// The job pool is the recurring (templated) subset of the training
+	// set, so the AutoToken baseline covers every sampled job.
+	var pool []*scopesim.Job
+	for _, rec := range repo.All() {
+		if rec.Job.Template != "" {
+			pool = append(pool, rec.Job)
+		}
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("plan soak: no recurring jobs in the seeded workload")
+	}
+	logf("harness: plan soak start (seed=%d plans=%d jobs/plan=%d pool=%d workers=%d)",
+		cfg.Seed, cfg.Plans, cfg.JobsPerPlan, len(pool), cfg.Workers)
+
+	// ---- Bulk lanes: seeded workers, per-plan outcomes folded in order.
+	outcomes := make([][]planOutcome, cfg.Plans) // [plan][lane]
+	errs := &firstErr{}
+	next := make(chan int, cfg.Plans)
+	for i := 0; i < cfg.Plans; i++ {
+		next <- i
+	}
+	close(next)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				req := soakRequest(cfg.Seed, i, pool, &cfg)
+				lanes := make([]planOutcome, len(soakLanes))
+				for li, lane := range soakLanes {
+					req.Policy, req.Model = lane.policy, lane.model
+					resp, err := srv.PlanLocal(req)
+					if err != nil {
+						errs.set(fmt.Errorf("plan %d lane %s/%s: %w", i, lane.policy, lane.model, err))
+						return
+					}
+					lanes[li] = planOutcome{
+						cost:     int64(resp.TotalTokenSeconds),
+						makespan: int64(resp.MakespanSeconds),
+						hash:     hashPlan(resp),
+					}
+				}
+				outcomes[i] = lanes
+			}
+		}()
+	}
+	wg.Wait()
+	if err := errs.get(); err != nil {
+		return nil, err
+	}
+
+	res := &PlanSoakResult{Plans: cfg.Plans, Jobs: cfg.Plans * cfg.JobsPerPlan}
+	fold := fnv.New64a()
+	var buf [8]byte
+	for i, lanes := range outcomes {
+		opt, peak, auto := lanes[0], lanes[1], lanes[2]
+		// Per-plan cluster claims: the Optimal lane must beat Peak on cost
+		// without losing throughput on the identical batch.
+		if opt.cost >= peak.cost {
+			return nil, fmt.Errorf("plan %d: optimal cost %d ≥ peak cost %d", i, opt.cost, peak.cost)
+		}
+		if opt.makespan > peak.makespan {
+			return nil, fmt.Errorf("plan %d: optimal makespan %d exceeds peak %d (throughput regression)",
+				i, opt.makespan, peak.makespan)
+		}
+		res.OptimalTokenSeconds += opt.cost
+		res.PeakTokenSeconds += peak.cost
+		res.AutoTokenSeconds += auto.cost
+		res.OptimalMakespanSeconds += opt.makespan
+		res.PeakMakespanSeconds += peak.makespan
+		for _, lane := range lanes {
+			binary.LittleEndian.PutUint64(buf[:], lane.hash)
+			fold.Write(buf[:])
+		}
+	}
+	res.Fingerprint = fold.Sum64()
+	res.SavedVsPeakFraction = 1 - float64(res.OptimalTokenSeconds)/float64(res.PeakTokenSeconds)
+	res.SavedVsAutoFraction = 1 - float64(res.OptimalTokenSeconds)/float64(res.AutoTokenSeconds)
+
+	// ---- Wire proof: a few plans travel the real endpoint and must match
+	// the in-process result event for event. The wire batches are clamped
+	// so a plan of full workload jobs stays inside the serving layer's
+	// 16 MiB request-body bound.
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := serve.NewClient(ts.URL)
+	wireCfg := cfg
+	if wireCfg.JobsPerPlan > 200 {
+		wireCfg.JobsPerPlan = 200
+	}
+	for i := 0; i < cfg.HTTPPlans; i++ {
+		req := soakRequest(cfg.Seed, i, pool, &wireCfg)
+		req.Policy = "optimal"
+		wire, err := client.Plan(req)
+		if err != nil {
+			return nil, fmt.Errorf("HTTP plan %d: %w", i, err)
+		}
+		local, err := srv.PlanLocal(req)
+		if err != nil {
+			return nil, fmt.Errorf("local re-plan %d: %w", i, err)
+		}
+		if wh, lh := hashPlan(wire), hashPlan(local); wh != lh {
+			return nil, fmt.Errorf("HTTP plan %d diverges from PlanLocal: %016x vs %016x", i, wh, lh)
+		}
+		res.HTTPPlans++
+	}
+
+	logf("harness: plan soak done: %d jobs, optimal %d vs peak %d vs autotoken %d token-seconds (saved %.1f%% / %.1f%%)",
+		res.Jobs, res.OptimalTokenSeconds, res.PeakTokenSeconds, res.AutoTokenSeconds,
+		res.SavedVsPeakFraction*100, res.SavedVsAutoFraction*100)
+	return res, nil
+}

@@ -129,6 +129,19 @@ const (
 	MetricAutopilotRejects    = "tasq_autopilot_reject_total"
 )
 
+// Metric names of the cluster planner (POST /v1/plan): plans served by
+// outcome, jobs allocated through the planner, and the cumulative
+// token-seconds the chosen policy saved against the Peak-allocation
+// baseline (clamped at zero per plan — a policy that provisions more
+// than peak records no savings).
+const (
+	MetricPlanRequests         = "tasq_plan_requests_total"
+	MetricPlanJobs             = "tasq_plan_jobs_total"
+	MetricPlanSavedTokenSecs   = "tasq_plan_saved_token_seconds_total"
+	MetricPlanMakespanSeconds  = "tasq_plan_makespan_seconds"
+	MetricPlanQueueWaitSeconds = "tasq_plan_queue_wait_seconds"
+)
+
 // statusClass buckets a status code into "1xx"…"5xx".
 func statusClass(code int) string {
 	if code < 100 || code > 599 {

@@ -1,0 +1,58 @@
+package plan
+
+import (
+	"testing"
+
+	"tasq/internal/pcc"
+)
+
+// benchSpecs builds a deterministic 1,000-job batch with staggered
+// arrivals and varied curves — the planner's acceptance-criteria shape.
+func benchSpecs(n int) []JobSpec {
+	specs := make([]JobSpec, n)
+	for i := range specs {
+		a := -0.2 - 0.6*float64(i%7)/7 // slopes in [−0.2, −0.8)
+		specs[i] = JobSpec{
+			ID:              "bench",
+			ArrivalSecond:   i / 4,
+			RequestedTokens: 40 + i%120,
+			PeakTokens:      20 + i%90,
+			Curve:           pcc.Curve{A: a, B: 400 + float64(i%300)},
+		}
+	}
+	return specs
+}
+
+// BenchmarkPlanBuild1000 measures one full plan — policy allocation +
+// FCFS simulation + summary — over a 1,000-job batch. jobs/op feeds
+// scripts/bench.sh's jobs_per_plan column.
+func BenchmarkPlanBuild1000(b *testing.B) {
+	specs := benchSpecs(1000)
+	cfg := Config{Capacity: 400, Policy: PolicyOptimal}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(specs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(specs)), "jobs/op")
+}
+
+// BenchmarkPlanSimulateFCFS1000 isolates the shared FCFS pool simulator
+// from the policy layer.
+func BenchmarkPlanSimulateFCFS1000(b *testing.B) {
+	specs := benchSpecs(1000)
+	p, err := Build(specs, Config{Capacity: 400, Policy: PolicyOptimal})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateFCFS(400, p.Allocations); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(specs)), "jobs/op")
+}

@@ -1,0 +1,238 @@
+// Package plan is the shared allocation core of the TASQ reproduction:
+// one Allocation/Pool/Outcome vocabulary for everything that reasons
+// about token capacity. The Figure-1 provisioning policies
+// (internal/scheduler re-exports them), the FCFS token-capacity cluster
+// simulator, the scopesim executor's free-token ledger, and the
+// PCC-driven cluster planner behind POST /v1/plan all build on the
+// types in this package, so capacity arithmetic exists exactly once.
+//
+// Every entry point is deterministic: the same inputs produce the same
+// outcomes event for event, which is what lets the planner soak assert
+// same-seed reproducibility across runs.
+package plan
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Typed validation errors. The serving layer maps all of them to HTTP
+// 400: they mark infeasible or malformed inputs, never an internal
+// planner failure.
+var (
+	// ErrBadCapacity rejects non-positive pool capacities.
+	ErrBadCapacity = errors.New("plan: pool capacity must be positive")
+	// ErrNoJobs rejects a plan over zero jobs.
+	ErrNoJobs = errors.New("plan: no jobs to plan")
+	// ErrBadAllocation rejects token allocations outside [1, capacity],
+	// negative times, and over-releases of the pool ledger.
+	ErrBadAllocation = errors.New("plan: bad token allocation")
+	// ErrBadPolicy rejects unknown allocation policies.
+	ErrBadPolicy = errors.New("plan: unknown allocation policy")
+	// ErrBadCurve rejects planning over an invalid (non-finite or
+	// non-positive) performance characteristic curve.
+	ErrBadCurve = errors.New("plan: invalid performance curve")
+	// ErrStarved reports a job whose request can never be satisfied by
+	// the remaining pool — defense in depth; allocation validation makes
+	// it unreachable through the public entry points.
+	ErrStarved = errors.New("plan: job starved")
+)
+
+// Allocation is one job's claim on the pool: it requires Tokens
+// guaranteed tokens for DurationSeconds starting when admitted.
+type Allocation struct {
+	ID              string
+	ArrivalSecond   int
+	Tokens          int
+	DurationSeconds int
+}
+
+// Outcome reports when an allocation ran.
+type Outcome struct {
+	ID          string
+	StartSecond int
+	WaitSeconds int
+	EndSecond   int
+}
+
+// Pool is a fixed-capacity token ledger — the one piece of accounting
+// the FCFS simulator and the scopesim executor share. It is not
+// goroutine-safe; each simulation owns its pool.
+type Pool struct {
+	capacity int
+	free     int
+}
+
+// NewPool returns a ledger with capacity free tokens.
+func NewPool(capacity int) (*Pool, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrBadCapacity, capacity)
+	}
+	return &Pool{capacity: capacity, free: capacity}, nil
+}
+
+// Capacity returns the pool's total token capacity.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Free returns the tokens currently unclaimed.
+func (p *Pool) Free() int { return p.free }
+
+// InUse returns the tokens currently claimed.
+func (p *Pool) InUse() int { return p.capacity - p.free }
+
+// Fits reports whether n tokens could be acquired right now.
+func (p *Pool) Fits(n int) bool { return n >= 1 && n <= p.free }
+
+// Acquire claims exactly n tokens or fails without claiming any — the
+// guaranteed-token admission the FCFS simulator models.
+func (p *Pool) Acquire(n int) error {
+	if n < 1 || n > p.free {
+		return fmt.Errorf("%w: acquire %d of %d free", ErrBadAllocation, n, p.free)
+	}
+	p.free -= n
+	return nil
+}
+
+// AcquireUpTo claims min(want, free) tokens and returns the grant — the
+// work-conserving partial admission the scopesim executor uses to start
+// as many tasks as the pool allows.
+func (p *Pool) AcquireUpTo(want int) int {
+	if want <= 0 {
+		return 0
+	}
+	if want > p.free {
+		want = p.free
+	}
+	p.free -= want
+	return want
+}
+
+// Release returns n tokens to the pool; releasing more than is
+// outstanding is a ledger bug and fails.
+func (p *Pool) Release(n int) error {
+	if n < 0 || p.free+n > p.capacity {
+		return fmt.Errorf("%w: release %d with %d of %d free", ErrBadAllocation, n, p.free, p.capacity)
+	}
+	p.free += n
+	return nil
+}
+
+// SimulateFCFS runs the allocations through a fixed-capacity token pool
+// with FCFS admission: a job is admitted when its full token request is
+// free; later arrivals cannot jump the queue (no backfilling), which
+// models SCOPE's guaranteed-token admission. Arrival ties are broken by
+// input order (stable), and outcomes are returned in input order.
+func SimulateFCFS(capacity int, allocs []Allocation) ([]Outcome, error) {
+	pool, err := NewPool(capacity)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range allocs {
+		if a.Tokens < 1 || a.Tokens > capacity {
+			return nil, fmt.Errorf("%w: job %s requests %d tokens of capacity %d", ErrBadAllocation, a.ID, a.Tokens, capacity)
+		}
+		if a.DurationSeconds < 0 || a.ArrivalSecond < 0 {
+			return nil, fmt.Errorf("%w: job %s has negative time", ErrBadAllocation, a.ID)
+		}
+	}
+	// FCFS by arrival (stable for ties: input order).
+	order := make([]int, len(allocs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return allocs[order[a]].ArrivalSecond < allocs[order[b]].ArrivalSecond
+	})
+
+	out := make([]Outcome, len(allocs))
+	releases := &releaseHeap{}
+	now := 0
+	for _, idx := range order {
+		a := allocs[idx]
+		if a.ArrivalSecond > now {
+			now = a.ArrivalSecond
+		}
+		// Advance time until the request fits.
+		for !pool.Fits(a.Tokens) {
+			if releases.Len() == 0 {
+				return nil, fmt.Errorf("%w: job %s with %d free tokens", ErrStarved, a.ID, pool.Free())
+			}
+			r := heap.Pop(releases).(release)
+			if r.at > now {
+				now = r.at
+			}
+			if err := pool.Release(r.tokens); err != nil {
+				return nil, err
+			}
+		}
+		// Drain any releases that already happened by now.
+		for releases.Len() > 0 && (*releases)[0].at <= now {
+			if err := pool.Release(heap.Pop(releases).(release).tokens); err != nil {
+				return nil, err
+			}
+		}
+		out[idx] = Outcome{
+			ID:          a.ID,
+			StartSecond: now,
+			WaitSeconds: now - a.ArrivalSecond,
+			EndSecond:   now + a.DurationSeconds,
+		}
+		if err := pool.Acquire(a.Tokens); err != nil {
+			return nil, err
+		}
+		heap.Push(releases, release{at: now + a.DurationSeconds, tokens: a.Tokens})
+	}
+	return out, nil
+}
+
+// Stats summarizes a simulated schedule.
+type Stats struct {
+	MeanWaitSeconds   float64
+	MaxWaitSeconds    int
+	MakespanSeconds   int
+	TotalTokenSeconds int
+}
+
+// Summarize aggregates outcomes against their allocations.
+func Summarize(allocs []Allocation, outs []Outcome) Stats {
+	var st Stats
+	if len(outs) == 0 {
+		return st
+	}
+	var waitSum int
+	for i, o := range outs {
+		waitSum += o.WaitSeconds
+		if o.WaitSeconds > st.MaxWaitSeconds {
+			st.MaxWaitSeconds = o.WaitSeconds
+		}
+		if o.EndSecond > st.MakespanSeconds {
+			st.MakespanSeconds = o.EndSecond
+		}
+		if i < len(allocs) {
+			st.TotalTokenSeconds += allocs[i].Tokens * allocs[i].DurationSeconds
+		}
+	}
+	st.MeanWaitSeconds = float64(waitSum) / float64(len(outs))
+	return st
+}
+
+type release struct {
+	at     int
+	tokens int
+}
+
+type releaseHeap []release
+
+func (h releaseHeap) Len() int           { return len(h) }
+func (h releaseHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h releaseHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *releaseHeap) Push(x any)        { *h = append(*h, x.(release)) }
+func (h *releaseHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

@@ -1,0 +1,147 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"tasq/internal/pcc"
+)
+
+// JobSpec is one job entering the planner: its compile-time request
+// metadata plus the predicted performance characteristic curve that any
+// of the registered predictors produced for it. The planner never
+// consults a model itself — the caller (internal/serve routes through
+// internal/model's Mux/Policy) resolves curves, so every predictor can
+// drive planning.
+type JobSpec struct {
+	ID string
+	// ArrivalSecond is when the job enters the queue (0 = one batch).
+	ArrivalSecond int
+	// RequestedTokens is the user's token request — the Default policy's
+	// allocation and the cap on the optimal-token search.
+	RequestedTokens int
+	// PeakTokens is the compile-time peak-parallelism estimate (the
+	// widest stage): the Peak and Adaptive Peak policies' request. At
+	// plan time no skyline exists yet, so this stands in for the
+	// observed peak of Figure 1.
+	PeakTokens int
+	// Curve is the predicted PCC R = b·Aᵃ driving run-time estimates.
+	Curve pcc.Curve
+}
+
+// Config parameterizes one plan.
+type Config struct {
+	// Capacity is the shared pool's guaranteed-token capacity.
+	Capacity int
+	// Policy selects the per-job allocation strategy.
+	Policy PolicyKind
+	// Threshold is the §2.1 optimal-allocation termination threshold
+	// (≤ 0 selects the 0.01 default: demand ≥1% improvement per token).
+	Threshold float64
+}
+
+// Plan is a feasible assignment of the jobs to the pool: per-job
+// allocations and simulated FCFS outcomes in input order, plus the
+// aggregate queueing statistics. TotalTokenSeconds in Stats is the
+// plan's provisioned cost Σ tokens×duration.
+type Plan struct {
+	Policy      PolicyKind
+	Capacity    int
+	Allocations []Allocation
+	Outcomes    []Outcome
+	Stats       Stats
+}
+
+// Build allocates every job under cfg.Policy and simulates the batch
+// through the FCFS pool. Allocations are clamped into [1, capacity] so a
+// well-formed request always yields a feasible plan: a job can never hold
+// more tokens than the pool has. Deterministic: same specs + config →
+// identical plan, event for event.
+func Build(specs []JobSpec, cfg Config) (*Plan, error) {
+	if cfg.Capacity < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrBadCapacity, cfg.Capacity)
+	}
+	if len(specs) == 0 {
+		return nil, ErrNoJobs
+	}
+	threshold := cfg.Threshold
+	if threshold <= 0 {
+		threshold = 0.01
+	}
+	allocs := make([]Allocation, len(specs))
+	for i := range specs {
+		sp := &specs[i]
+		if !sp.Curve.Valid() {
+			return nil, fmt.Errorf("%w: job %s: %v", ErrBadCurve, sp.ID, sp.Curve)
+		}
+		if sp.ArrivalSecond < 0 {
+			return nil, fmt.Errorf("%w: job %s arrives at %d", ErrBadAllocation, sp.ID, sp.ArrivalSecond)
+		}
+		tokens, err := tokensFor(sp, cfg.Policy, cfg.Capacity, threshold)
+		if err != nil {
+			return nil, err
+		}
+		allocs[i] = Allocation{
+			ID:              sp.ID,
+			ArrivalSecond:   sp.ArrivalSecond,
+			Tokens:          tokens,
+			DurationSeconds: predictedDuration(sp.Curve, tokens),
+		}
+	}
+	outs, err := SimulateFCFS(cfg.Capacity, allocs)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{
+		Policy:      cfg.Policy,
+		Capacity:    cfg.Capacity,
+		Allocations: allocs,
+		Outcomes:    outs,
+		Stats:       Summarize(allocs, outs),
+	}, nil
+}
+
+// tokensFor applies one policy strategy to one job.
+func tokensFor(sp *JobSpec, policy PolicyKind, capacity int, threshold float64) (int, error) {
+	requested := clamp(sp.RequestedTokens, 1, capacity)
+	switch policy {
+	case PolicyDefault:
+		return requested, nil
+	case PolicyPeak, PolicyAdaptivePeak:
+		// Both peak policies admit at the compile-time peak estimate;
+		// adaptive peak differs only in how the reservation decays over
+		// the job's lifetime, not in what it requests from the queue.
+		if sp.PeakTokens < 1 {
+			return requested, nil
+		}
+		return clamp(sp.PeakTokens, 1, capacity), nil
+	case PolicyOptimal:
+		return sp.Curve.OptimalTokens(1, requested, threshold), nil
+	}
+	return 0, fmt.Errorf("%w: %d", ErrBadPolicy, int(policy))
+}
+
+// predictedDuration rounds the curve's run-time prediction up to whole
+// seconds with a floor of 1 — a job never occupies the pool for zero
+// time. The curve was validated by Build, so the prediction is finite.
+func predictedDuration(c pcc.Curve, tokens int) int {
+	rt := c.Runtime(float64(tokens))
+	if math.IsNaN(rt) || rt < 1 {
+		return 1
+	}
+	d := int(math.Ceil(rt))
+	if d < 1 {
+		return 1
+	}
+	return d
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,123 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"tasq/internal/skyline"
+)
+
+// PolicyKind identifies an allocation policy.
+type PolicyKind int
+
+// The policies of Figure 1 plus TASQ's optimal allocation.
+const (
+	PolicyDefault PolicyKind = iota
+	PolicyPeak
+	PolicyAdaptivePeak
+	PolicyOptimal
+)
+
+// String names the policy as in Figure 1.
+func (p PolicyKind) String() string {
+	switch p {
+	case PolicyPeak:
+		return "Peak Allocation"
+	case PolicyAdaptivePeak:
+		return "Adaptive Peak Allocation"
+	case PolicyOptimal:
+		return "Optimal Allocation"
+	default:
+		return "Default Allocation"
+	}
+}
+
+// ParsePolicyKind reads a wire/CLI policy name ("default", "peak",
+// "adaptive-peak", "optimal"; case-, space- and punctuation-insensitive,
+// with or without an "allocation" suffix). The empty string selects
+// PolicyOptimal — the planner exists to serve TASQ's allocation.
+func ParsePolicyKind(s string) (PolicyKind, error) {
+	key := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return -1
+		}
+	}, s)
+	key = strings.TrimSuffix(key, "allocation")
+	switch key {
+	case "", "optimal":
+		return PolicyOptimal, nil
+	case "default":
+		return PolicyDefault, nil
+	case "peak":
+		return PolicyPeak, nil
+	case "adaptivepeak":
+		return PolicyAdaptivePeak, nil
+	}
+	return 0, fmt.Errorf("%w: %q (want default, peak, adaptive-peak or optimal)", ErrBadPolicy, s)
+}
+
+// PolicyAccounting reports how a policy would have provisioned one job run.
+type PolicyAccounting struct {
+	Policy PolicyKind
+	// AllocatedTokenSeconds is the total provisioned capacity.
+	AllocatedTokenSeconds int
+	// UsedTokenSeconds is the skyline area.
+	UsedTokenSeconds int
+	// OverAllocation = Allocated − Used.
+	OverAllocation int
+	// RequestTokens is the (initial) token request under the policy.
+	RequestTokens int
+}
+
+// Utilization returns used/allocated capacity (0 when nothing allocated).
+func (a PolicyAccounting) Utilization() float64 {
+	if a.AllocatedTokenSeconds == 0 {
+		return 0
+	}
+	return float64(a.UsedTokenSeconds) / float64(a.AllocatedTokenSeconds)
+}
+
+// AccountPolicy computes the provisioning accounting for a job run with
+// the given observed skyline. defaultTokens is the user's request (Default
+// policy); optimalTokens is TASQ's predicted allocation (Optimal policy;
+// ignored for other kinds). For the Optimal policy the skyline should be
+// the run at that allocation.
+func AccountPolicy(kind PolicyKind, sky skyline.Skyline, defaultTokens, optimalTokens int) (PolicyAccounting, error) {
+	used := sky.Area()
+	runtime := sky.Runtime()
+	acc := PolicyAccounting{Policy: kind, UsedTokenSeconds: used}
+	switch kind {
+	case PolicyDefault:
+		if defaultTokens < 1 {
+			return acc, fmt.Errorf("%w: default allocation %d", ErrBadAllocation, defaultTokens)
+		}
+		acc.RequestTokens = defaultTokens
+		acc.AllocatedTokenSeconds = defaultTokens * runtime
+	case PolicyPeak:
+		acc.RequestTokens = sky.Peak()
+		acc.AllocatedTokenSeconds = sky.Peak() * runtime
+	case PolicyAdaptivePeak:
+		acc.RequestTokens = sky.Peak()
+		acc.AllocatedTokenSeconds = sky.AdaptivePeakAllocation()
+	case PolicyOptimal:
+		if optimalTokens < 1 {
+			return acc, fmt.Errorf("%w: optimal allocation %d", ErrBadAllocation, optimalTokens)
+		}
+		acc.RequestTokens = optimalTokens
+		acc.AllocatedTokenSeconds = optimalTokens * runtime
+	default:
+		return acc, fmt.Errorf("%w: %d", ErrBadPolicy, int(kind))
+	}
+	acc.OverAllocation = acc.AllocatedTokenSeconds - used
+	if acc.OverAllocation < 0 {
+		// Usage above the nominal allocation (errant telemetry) counts as
+		// zero waste rather than negative.
+		acc.OverAllocation = 0
+	}
+	return acc, nil
+}

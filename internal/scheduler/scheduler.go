@@ -5,62 +5,41 @@
 // the queueing benefit of requesting fewer tokens (§1: "utilizing fewer
 // tokens reduces job wait time and improves the overall resource
 // availability for other jobs in the cluster").
+//
+// The allocation arithmetic itself lives in internal/plan — the shared
+// core the serving-side cluster planner and the scopesim executor also
+// build on; this package re-exports it under the historical offline
+// vocabulary (Submission/Scheduled/Cluster).
 package scheduler
 
 import (
-	"container/heap"
-	"errors"
-	"fmt"
-	"sort"
-
+	"tasq/internal/plan"
 	"tasq/internal/skyline"
 )
 
 // PolicyKind identifies an allocation policy.
-type PolicyKind int
+type PolicyKind = plan.PolicyKind
 
 // The policies of Figure 1 plus TASQ's optimal allocation.
 const (
-	PolicyDefault PolicyKind = iota
-	PolicyPeak
-	PolicyAdaptivePeak
-	PolicyOptimal
+	PolicyDefault      = plan.PolicyDefault
+	PolicyPeak         = plan.PolicyPeak
+	PolicyAdaptivePeak = plan.PolicyAdaptivePeak
+	PolicyOptimal      = plan.PolicyOptimal
 )
 
-// String names the policy as in Figure 1.
-func (p PolicyKind) String() string {
-	switch p {
-	case PolicyPeak:
-		return "Peak Allocation"
-	case PolicyAdaptivePeak:
-		return "Adaptive Peak Allocation"
-	case PolicyOptimal:
-		return "Optimal Allocation"
-	default:
-		return "Default Allocation"
-	}
-}
+// Typed validation errors, shared with internal/plan so the serving
+// layer maps them all to HTTP 400.
+var (
+	ErrBadCapacity   = plan.ErrBadCapacity
+	ErrNoJobs        = plan.ErrNoJobs
+	ErrBadAllocation = plan.ErrBadAllocation
+	ErrBadPolicy     = plan.ErrBadPolicy
+	ErrStarved       = plan.ErrStarved
+)
 
 // PolicyAccounting reports how a policy would have provisioned one job run.
-type PolicyAccounting struct {
-	Policy PolicyKind
-	// AllocatedTokenSeconds is the total provisioned capacity.
-	AllocatedTokenSeconds int
-	// UsedTokenSeconds is the skyline area.
-	UsedTokenSeconds int
-	// OverAllocation = Allocated − Used.
-	OverAllocation int
-	// RequestTokens is the (initial) token request under the policy.
-	RequestTokens int
-}
-
-// Utilization returns used/allocated capacity (0 when nothing allocated).
-func (a PolicyAccounting) Utilization() float64 {
-	if a.AllocatedTokenSeconds == 0 {
-		return 0
-	}
-	return float64(a.UsedTokenSeconds) / float64(a.AllocatedTokenSeconds)
-}
+type PolicyAccounting = plan.PolicyAccounting
 
 // AccountPolicy computes the provisioning accounting for a job run with
 // the given observed skyline. defaultTokens is the user's request (Default
@@ -68,56 +47,15 @@ func (a PolicyAccounting) Utilization() float64 {
 // ignored for other kinds). For the Optimal policy the skyline should be
 // the run at that allocation.
 func AccountPolicy(kind PolicyKind, sky skyline.Skyline, defaultTokens, optimalTokens int) (PolicyAccounting, error) {
-	used := sky.Area()
-	runtime := sky.Runtime()
-	acc := PolicyAccounting{Policy: kind, UsedTokenSeconds: used}
-	switch kind {
-	case PolicyDefault:
-		if defaultTokens < 1 {
-			return acc, fmt.Errorf("scheduler: default allocation %d", defaultTokens)
-		}
-		acc.RequestTokens = defaultTokens
-		acc.AllocatedTokenSeconds = defaultTokens * runtime
-	case PolicyPeak:
-		acc.RequestTokens = sky.Peak()
-		acc.AllocatedTokenSeconds = sky.Peak() * runtime
-	case PolicyAdaptivePeak:
-		acc.RequestTokens = sky.Peak()
-		acc.AllocatedTokenSeconds = sky.AdaptivePeakAllocation()
-	case PolicyOptimal:
-		if optimalTokens < 1 {
-			return acc, fmt.Errorf("scheduler: optimal allocation %d", optimalTokens)
-		}
-		acc.RequestTokens = optimalTokens
-		acc.AllocatedTokenSeconds = optimalTokens * runtime
-	default:
-		return acc, fmt.Errorf("scheduler: unknown policy %d", int(kind))
-	}
-	acc.OverAllocation = acc.AllocatedTokenSeconds - used
-	if acc.OverAllocation < 0 {
-		// Usage above the nominal allocation (errant telemetry) counts as
-		// zero waste rather than negative.
-		acc.OverAllocation = 0
-	}
-	return acc, nil
+	return plan.AccountPolicy(kind, sky, defaultTokens, optimalTokens)
 }
 
 // Submission is one job entering the cluster queue: it requires Tokens
 // guaranteed tokens for DurationSeconds starting when admitted.
-type Submission struct {
-	ID              string
-	ArrivalSecond   int
-	Tokens          int
-	DurationSeconds int
-}
+type Submission = plan.Allocation
 
 // Scheduled reports when a submission ran.
-type Scheduled struct {
-	ID          string
-	StartSecond int
-	WaitSeconds int
-	EndSecond   int
-}
+type Scheduled = plan.Outcome
 
 // Cluster is a fixed-capacity token pool with FCFS admission: a job is
 // admitted when its full token request is free; later arrivals cannot jump
@@ -129,108 +67,13 @@ type Cluster struct {
 
 // Run simulates the submissions and returns their schedules in input order.
 func (c *Cluster) Run(subs []Submission) ([]Scheduled, error) {
-	if c.Capacity < 1 {
-		return nil, errors.New("scheduler: cluster capacity must be positive")
-	}
-	for _, s := range subs {
-		if s.Tokens < 1 || s.Tokens > c.Capacity {
-			return nil, fmt.Errorf("scheduler: job %s requests %d tokens of capacity %d", s.ID, s.Tokens, c.Capacity)
-		}
-		if s.DurationSeconds < 0 || s.ArrivalSecond < 0 {
-			return nil, fmt.Errorf("scheduler: job %s has negative time", s.ID)
-		}
-	}
-	// FCFS by arrival (stable for ties: input order).
-	order := make([]int, len(subs))
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return subs[order[a]].ArrivalSecond < subs[order[b]].ArrivalSecond
-	})
-
-	out := make([]Scheduled, len(subs))
-	free := c.Capacity
-	releases := &releaseHeap{}
-	now := 0
-	for _, idx := range order {
-		s := subs[idx]
-		if s.ArrivalSecond > now {
-			now = s.ArrivalSecond
-		}
-		// Advance time until the request fits.
-		for free < s.Tokens {
-			if releases.Len() == 0 {
-				return nil, fmt.Errorf("scheduler: job %s starved with %d free tokens", s.ID, free)
-			}
-			r := heap.Pop(releases).(release)
-			if r.at > now {
-				now = r.at
-			}
-			free += r.tokens
-		}
-		// Drain any releases that already happened by now.
-		for releases.Len() > 0 && (*releases)[0].at <= now {
-			free += heap.Pop(releases).(release).tokens
-		}
-		out[idx] = Scheduled{
-			ID:          s.ID,
-			StartSecond: now,
-			WaitSeconds: now - s.ArrivalSecond,
-			EndSecond:   now + s.DurationSeconds,
-		}
-		free -= s.Tokens
-		heap.Push(releases, release{at: now + s.DurationSeconds, tokens: s.Tokens})
-	}
-	return out, nil
+	return plan.SimulateFCFS(c.Capacity, subs)
 }
 
 // QueueStats summarizes a schedule.
-type QueueStats struct {
-	MeanWaitSeconds   float64
-	MaxWaitSeconds    int
-	MakespanSeconds   int
-	TotalTokenSeconds int
-}
+type QueueStats = plan.Stats
 
 // Summarize aggregates schedules against their submissions.
 func Summarize(subs []Submission, scheds []Scheduled) QueueStats {
-	var st QueueStats
-	if len(scheds) == 0 {
-		return st
-	}
-	var waitSum int
-	for i, s := range scheds {
-		waitSum += s.WaitSeconds
-		if s.WaitSeconds > st.MaxWaitSeconds {
-			st.MaxWaitSeconds = s.WaitSeconds
-		}
-		if s.EndSecond > st.MakespanSeconds {
-			st.MakespanSeconds = s.EndSecond
-		}
-		if i < len(subs) {
-			st.TotalTokenSeconds += subs[i].Tokens * subs[i].DurationSeconds
-		}
-	}
-	st.MeanWaitSeconds = float64(waitSum) / float64(len(scheds))
-	return st
-}
-
-type release struct {
-	at     int
-	tokens int
-}
-
-type releaseHeap []release
-
-func (h releaseHeap) Len() int           { return len(h) }
-func (h releaseHeap) Less(i, j int) bool { return h[i].at < h[j].at }
-func (h releaseHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *releaseHeap) Push(x any)        { *h = append(*h, x.(release)) }
-func (h *releaseHeap) Pop() any {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
+	return plan.Summarize(subs, scheds)
 }

@@ -6,8 +6,14 @@ import (
 	"math"
 	"math/rand"
 
+	"tasq/internal/plan"
 	"tasq/internal/skyline"
 )
+
+// ErrBadAllocation marks a zero or negative token allocation — the
+// shared typed error from internal/plan, so the serving layer maps it to
+// HTTP 400 wherever it surfaces.
+var ErrBadAllocation = plan.ErrBadAllocation
 
 // Execution is the result of running a job on the cluster simulator.
 type Execution struct {
@@ -90,7 +96,10 @@ func (h *eventHeap) Pop() any {
 
 func (e *Executor) run(job *Job, tokens int, rng *rand.Rand, noise Noise) (*Execution, error) {
 	if tokens < 1 {
-		return nil, fmt.Errorf("scopesim: allocation %d < 1 token", tokens)
+		// Clamp-and-error: report what a minimal valid simulation would
+		// have used, but refuse to run — a zero/negative allocation is
+		// always a caller bug, never a simulation to answer silently.
+		return nil, fmt.Errorf("%w: scopesim allocation %d < 1 token (minimum 1)", ErrBadAllocation, tokens)
 	}
 	if err := job.Validate(); err != nil {
 		return nil, err
@@ -145,7 +154,12 @@ func (e *Executor) run(job *Job, tokens int, rng *rand.Rand, noise Noise) (*Exec
 
 	events := &eventHeap{}
 	sky := make(skyline.Skyline, 0, 256)
-	free := tokens
+	// The free-token ledger is the shared allocation core's Pool — the
+	// same accounting the FCFS cluster simulator admits jobs with.
+	pool, err := plan.NewPool(tokens)
+	if err != nil {
+		return nil, err
+	}
 	t := 0
 
 	duration := func(stage int) int {
@@ -165,14 +179,10 @@ func (e *Executor) run(job *Job, tokens int, rng *rand.Rand, noise Noise) (*Exec
 
 	for events.Len() > 0 || ready.Len() > 0 {
 		// Start as many tasks as free tokens allow, lowest stage ID first.
-		for free > 0 && ready.Len() > 0 {
+		for pool.Free() > 0 && ready.Len() > 0 {
 			s := (*ready)[0]
-			k := unstarted[s]
-			if k > free {
-				k = free
-			}
+			k := pool.AcquireUpTo(unstarted[s])
 			unstarted[s] -= k
-			free -= k
 			if unstarted[s] == 0 {
 				heap.Pop(ready)
 			}
@@ -188,14 +198,16 @@ func (e *Executor) run(job *Job, tokens int, rng *rand.Rand, noise Noise) (*Exec
 			return nil, fmt.Errorf("scopesim: job %s exceeded max runtime %ds", job.ID, maxRuntime)
 		}
 		// Record token usage for [t, next).
-		used := tokens - free
+		used := pool.InUse()
 		for ; t < next; t++ {
 			sky = append(sky, used)
 		}
 		// Process all completions at this instant.
 		for events.Len() > 0 && (*events)[0].at == next {
 			ev := heap.Pop(events).(taskEvent)
-			free += ev.count
+			if err := pool.Release(ev.count); err != nil {
+				return nil, fmt.Errorf("scopesim: job %s ledger corrupt at t=%d: %w", job.ID, t, err)
+			}
 			remaining[ev.stage] -= ev.count
 			if remaining[ev.stage] == 0 {
 				for _, dep := range dependents[ev.stage] {

@@ -1,10 +1,13 @@
 package scopesim
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"tasq/internal/plan"
 )
 
 // chainJob builds a simple linear job: each stage depends on the previous.
@@ -299,6 +302,47 @@ func TestExecutorErrors(t *testing.T) {
 	}
 	if _, err := ex.RunNoisy(j, 1, nil, Noise{}); err == nil {
 		t.Fatal("RunNoisy without rng accepted")
+	}
+}
+
+func TestExecutorRejectsNonPositiveAllocationsTyped(t *testing.T) {
+	// Regression: zero/negative allocations must fail with the shared
+	// typed error (mapped to HTTP 400 by the serving layer), never run a
+	// silent bad simulation.
+	j := chainJob("j", []int{2, 3}, []int{1, 2})
+	var ex Executor
+	for _, tokens := range []int{0, -1, -50} {
+		if _, err := ex.Run(j, tokens); !errors.Is(err, ErrBadAllocation) {
+			t.Fatalf("allocation %d: got %v, want ErrBadAllocation", tokens, err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		if _, err := ex.RunNoisy(j, tokens, rng, Noise{Sigma: 0.1}); !errors.Is(err, ErrBadAllocation) {
+			t.Fatalf("noisy allocation %d: got %v, want ErrBadAllocation", tokens, err)
+		}
+	}
+	// And the error is plan's, so one errors.Is covers every layer.
+	if _, err := ex.Run(j, 0); !errors.Is(err, plan.ErrBadAllocation) {
+		t.Fatalf("scopesim error does not unwrap to plan.ErrBadAllocation: %v", err)
+	}
+}
+
+func TestExecutorPoolLedgerConsistency(t *testing.T) {
+	// The executor's skyline can never exceed its allocation: the shared
+	// pool ledger enforces the capacity invariant at every instant.
+	rng := rand.New(rand.NewSource(7))
+	var ex Executor
+	for i := 0; i < 20; i++ {
+		j := randomDAGJob(rng, 6)
+		tokens := 1 + rng.Intn(12)
+		res, err := ex.Run(j, tokens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s, used := range res.Skyline {
+			if used < 0 || used > tokens {
+				t.Fatalf("job %s second %d uses %d of %d tokens", j.ID, s, used, tokens)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+
+	"tasq/internal/obs"
+	"tasq/internal/plan"
+	"tasq/internal/scopesim"
+)
+
+// DefaultMaxPlanJobs is the default per-request job cap on /v1/plan.
+const DefaultMaxPlanJobs = 4096
+
+// WithMaxPlanJobs caps the number of jobs accepted per plan request
+// (default DefaultMaxPlanJobs).
+func WithMaxPlanJobs(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxPlanJobs = n
+		}
+	}
+}
+
+// PlanRequest asks the cluster planner to allocate a batch of jobs
+// against a shared token pool: N compile-time job descriptions in,
+// per-job token allocations plus predicted makespan, cost and
+// queue-wait out. Planning is a pure function of the request — nothing
+// is admitted to any real queue.
+type PlanRequest struct {
+	// Jobs are the compile-time job descriptions to allocate.
+	Jobs []*scopesim.Job `json:"jobs"`
+	// CapacityTokens is the pool's guaranteed-token capacity.
+	CapacityTokens int `json:"capacity_tokens"`
+	// Policy selects the allocation strategy: "default", "peak",
+	// "adaptive-peak" or "optimal" (the default — TASQ's sub-peak
+	// allocation from each job's predicted PCC).
+	Policy string `json:"policy,omitempty"`
+	// Model names the predictor whose PCC predictions drive the plan
+	// (any registered name, e.g. "NN", "xgboost-pl", "AutoToken"); empty
+	// follows the server's fallback policy. Unknown names are rejected
+	// with 400, known-but-untrained predictors with 409.
+	Model string `json:"model,omitempty"`
+	// Threshold is the §2.1 optimal-allocation termination threshold
+	// (default 0.01). Negative values are rejected.
+	Threshold float64 `json:"threshold,omitempty"`
+	// ArrivalSeconds optionally gives each job's queue-arrival time, one
+	// entry per job; omitted means every job arrives at second 0.
+	ArrivalSeconds []int `json:"arrival_seconds,omitempty"`
+}
+
+// PlanJobJSON is one job's slot in the plan, in request order.
+type PlanJobJSON struct {
+	ID string `json:"id"`
+	// Model is the predictor whose curve priced this job.
+	Model string `json:"model"`
+	// Tokens is the allocation the policy chose.
+	Tokens int `json:"tokens"`
+	// PredictedRuntimeSeconds is the curve's run time at that allocation.
+	PredictedRuntimeSeconds int `json:"predicted_runtime_seconds"`
+	// StartSecond/WaitSeconds/EndSecond are the simulated FCFS schedule.
+	StartSecond int `json:"start_second"`
+	WaitSeconds int `json:"wait_seconds"`
+	EndSecond   int `json:"end_second"`
+}
+
+// PlanResponse is the planner's answer: the per-job schedule plus the
+// aggregate cost and queueing picture, with the Peak-allocation baseline
+// cost alongside so the savings are visible on the wire.
+type PlanResponse struct {
+	// ModelVersion is the registry version of the pipeline that scored
+	// the plan (0 = unversioned).
+	ModelVersion int    `json:"model_version,omitempty"`
+	Policy       string `json:"policy"`
+	// CapacityTokens echoes the pool capacity planned against.
+	CapacityTokens int           `json:"capacity_tokens"`
+	Jobs           []PlanJobJSON `json:"jobs"`
+	// MakespanSeconds is when the last job drains from the pool.
+	MakespanSeconds int     `json:"makespan_seconds"`
+	MeanWaitSeconds float64 `json:"mean_wait_seconds"`
+	MaxWaitSeconds  int     `json:"max_wait_seconds"`
+	// TotalTokenSeconds is the plan's provisioned cost Σ tokens×runtime.
+	TotalTokenSeconds int `json:"total_token_seconds"`
+	// PeakBaselineTokenSeconds is what the Peak-allocation policy would
+	// have provisioned for the same jobs and curves; Saved = Peak −
+	// Total (negative when the chosen policy provisions more than peak).
+	PeakBaselineTokenSeconds int `json:"peak_baseline_token_seconds"`
+	SavedTokenSeconds        int `json:"saved_token_seconds"`
+}
+
+// initPlanMetrics registers the tasq_plan_* series.
+func (s *Server) initPlanMetrics() {
+	s.reg.SetHelp(obs.MetricPlanRequests, "Plans served, by outcome (ok, rejected, failed).")
+	s.planOK = s.reg.Counter(obs.MetricPlanRequests, "outcome", "ok")
+	s.planRejected = s.reg.Counter(obs.MetricPlanRequests, "outcome", "rejected")
+	s.planFailed = s.reg.Counter(obs.MetricPlanRequests, "outcome", "failed")
+	s.reg.SetHelp(obs.MetricPlanJobs, "Jobs allocated through the cluster planner.")
+	s.planJobs = s.reg.Counter(obs.MetricPlanJobs)
+	s.reg.SetHelp(obs.MetricPlanSavedTokenSecs, "Token-seconds the planned policy saved vs. the Peak-allocation baseline (clamped at 0 per plan).")
+	s.planSaved = s.reg.Counter(obs.MetricPlanSavedTokenSecs)
+	s.reg.SetHelp(obs.MetricPlanMakespanSeconds, "Predicted makespan of served plans, in simulated seconds.")
+	s.planMakespan = s.reg.Histogram(obs.MetricPlanMakespanSeconds,
+		[]float64{60, 300, 900, 3600, 14400, 43200, 86400, 4 * 86400})
+	s.reg.SetHelp(obs.MetricPlanQueueWaitSeconds, "Predicted mean queue wait of served plans, in simulated seconds.")
+	s.planWait = s.reg.Histogram(obs.MetricPlanQueueWaitSeconds,
+		[]float64{1, 10, 60, 300, 1800, 7200, 43200})
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req PlanRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.planRejected.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := s.plan(&req)
+	if err != nil {
+		http.Error(w, err.Error(), httpStatus(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// PlanLocal plans one request in process, bypassing HTTP — the entry
+// point for embedders and the planner soak, which pushes ~10⁶ simulated
+// jobs through here without paying for JSON.
+func (s *Server) PlanLocal(req *PlanRequest) (*PlanResponse, error) {
+	return s.plan(req)
+}
+
+// plan validates the request, resolves every job's PCC through the
+// generation's curve cache and the model mux, and builds the policy's
+// plan plus the Peak-allocation baseline for the savings columns. All
+// validation failures map to 400 via the typed plan errors; model
+// routing keeps the scoring contract (unknown 400, untrained 409).
+func (s *Server) plan(req *PlanRequest) (*PlanResponse, error) {
+	if len(req.Jobs) == 0 {
+		s.planRejected.Inc()
+		return nil, plan.ErrNoJobs
+	}
+	if len(req.Jobs) > s.maxPlanJobs {
+		s.planRejected.Inc()
+		return nil, reqErrf("serve: plan of %d jobs exceeds the per-request cap %d", len(req.Jobs), s.maxPlanJobs)
+	}
+	if req.Threshold < 0 {
+		s.planRejected.Inc()
+		return nil, reqErrf("serve: negative threshold %v: the §2.1 termination threshold must be positive (0 selects the 0.01 default)", req.Threshold)
+	}
+	if len(req.ArrivalSeconds) != 0 && len(req.ArrivalSeconds) != len(req.Jobs) {
+		s.planRejected.Inc()
+		return nil, reqErrf("serve: %d arrival_seconds for %d jobs", len(req.ArrivalSeconds), len(req.Jobs))
+	}
+	policy, err := plan.ParsePolicyKind(req.Policy)
+	if err != nil {
+		s.planRejected.Inc()
+		return nil, err
+	}
+	if req.CapacityTokens < 1 {
+		s.planRejected.Inc()
+		return nil, plan.ErrBadCapacity
+	}
+
+	active := s.active.Load()
+	if active == nil {
+		s.planFailed.Inc()
+		return nil, errNoModel
+	}
+
+	specs := make([]plan.JobSpec, len(req.Jobs))
+	served := make([]string, len(req.Jobs))
+	for i, job := range req.Jobs {
+		if job == nil {
+			s.planRejected.Inc()
+			return nil, reqErrf("serve: plan job %d is null", i)
+		}
+		curve, model, _, err := s.curveFor(active, req.Model, job)
+		if err != nil {
+			if code := httpStatus(err); code == http.StatusBadRequest || code == http.StatusConflict {
+				s.planRejected.Inc()
+			} else {
+				s.planFailed.Inc()
+			}
+			return nil, err
+		}
+		arrival := 0
+		if len(req.ArrivalSeconds) > 0 {
+			arrival = req.ArrivalSeconds[i]
+		}
+		specs[i] = plan.JobSpec{
+			ID:              job.ID,
+			ArrivalSecond:   arrival,
+			RequestedTokens: job.RequestedTokens,
+			PeakTokens:      job.PeakParallelism(),
+			Curve:           curve,
+		}
+		served[i] = model
+	}
+
+	built, err := plan.Build(specs, plan.Config{
+		Capacity:  req.CapacityTokens,
+		Policy:    policy,
+		Threshold: req.Threshold,
+	})
+	if err != nil {
+		if httpStatus(err) == http.StatusBadRequest {
+			s.planRejected.Inc()
+		} else {
+			s.planFailed.Inc()
+		}
+		return nil, err
+	}
+	// The Peak-allocation baseline over the same specs prices the
+	// savings; no extra scoring happens — the curves are already in hand.
+	baselineCost := built.Stats.TotalTokenSeconds
+	if policy == plan.PolicyPeak {
+		// The plan is its own baseline.
+	} else if base, err := plan.Build(specs, plan.Config{
+		Capacity: req.CapacityTokens,
+		Policy:   plan.PolicyPeak,
+	}); err == nil {
+		baselineCost = base.Stats.TotalTokenSeconds
+	}
+
+	resp := &PlanResponse{
+		ModelVersion:             active.version,
+		Policy:                   built.Policy.String(),
+		CapacityTokens:           built.Capacity,
+		Jobs:                     make([]PlanJobJSON, len(built.Outcomes)),
+		MakespanSeconds:          built.Stats.MakespanSeconds,
+		MeanWaitSeconds:          built.Stats.MeanWaitSeconds,
+		MaxWaitSeconds:           built.Stats.MaxWaitSeconds,
+		TotalTokenSeconds:        built.Stats.TotalTokenSeconds,
+		PeakBaselineTokenSeconds: baselineCost,
+		SavedTokenSeconds:        baselineCost - built.Stats.TotalTokenSeconds,
+	}
+	for i, out := range built.Outcomes {
+		resp.Jobs[i] = PlanJobJSON{
+			ID:                      out.ID,
+			Model:                   served[i],
+			Tokens:                  built.Allocations[i].Tokens,
+			PredictedRuntimeSeconds: built.Allocations[i].DurationSeconds,
+			StartSecond:             out.StartSecond,
+			WaitSeconds:             out.WaitSeconds,
+			EndSecond:               out.EndSecond,
+		}
+	}
+
+	s.planOK.Inc()
+	s.planJobs.Add(int64(len(req.Jobs)))
+	if resp.SavedTokenSeconds > 0 {
+		s.planSaved.Add(int64(resp.SavedTokenSeconds))
+	}
+	s.planMakespan.Observe(float64(resp.MakespanSeconds))
+	s.planWait.Observe(resp.MeanWaitSeconds)
+	return resp, nil
+}
+
+// Plan submits a batch of jobs for cluster planning.
+func (c *Client) Plan(req *PlanRequest) (*PlanResponse, error) {
+	return c.PlanCtx(context.Background(), req)
+}
+
+// PlanCtx is Plan honoring the caller's deadline and cancellation.
+func (c *Client) PlanCtx(ctx context.Context, req *PlanRequest) (*PlanResponse, error) {
+	var out PlanResponse
+	// Planning is a pure function of the request — idempotent, so
+	// transient failures (including transport errors) are retried.
+	if err := c.postJSON(ctx, "/v1/plan", retryIdempotent, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

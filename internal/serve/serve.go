@@ -39,6 +39,7 @@ import (
 	"tasq/internal/model"
 	"tasq/internal/obs"
 	"tasq/internal/pcc"
+	"tasq/internal/plan"
 	"tasq/internal/scopesim"
 	"tasq/internal/trainer"
 )
@@ -111,14 +112,20 @@ type modelLister interface {
 // scoreVia dispatches one request to the scorer, by name when the request
 // asks for a specific model.
 func scoreVia(sc scorer, req *ScoreRequest) (pcc.Curve, string, error) {
-	if req.Model == "" {
-		return sc.ScoreJob(req.Job)
+	return scoreViaName(sc, req.Model, req.Job)
+}
+
+// scoreViaName dispatches one (model, job) pair to the scorer — the form
+// the planner uses, where one request carries many jobs.
+func scoreViaName(sc scorer, modelName string, job *scopesim.Job) (pcc.Curve, string, error) {
+	if modelName == "" {
+		return sc.ScoreJob(job)
 	}
 	mr, ok := sc.(modelRouter)
 	if !ok {
-		return pcc.Curve{}, "", reqErrf("serve: loaded model cannot route by model name (%q requested)", req.Model)
+		return pcc.Curve{}, "", reqErrf("serve: loaded model cannot route by model name (%q requested)", modelName)
 	}
-	return mr.ScoreJobModel(req.Model, req.Job)
+	return mr.ScoreJobModel(modelName, job)
 }
 
 // requestError marks a client-side validation failure. Handlers map it to
@@ -154,6 +161,14 @@ func httpStatus(err error) int {
 	// A missing token bound is the caller's omission (supply max_tokens or
 	// score a record with observed tokens), same contract as a negative one.
 	if errors.Is(err, trainer.ErrNoTokenBound) {
+		return http.StatusBadRequest
+	}
+	// The shared allocation core's validation failures are the planner
+	// request's to fix: infeasible capacities, empty batches, allocations
+	// outside the pool, unknown policies, degenerate curves.
+	if errors.Is(err, plan.ErrBadCapacity) || errors.Is(err, plan.ErrNoJobs) ||
+		errors.Is(err, plan.ErrBadAllocation) || errors.Is(err, plan.ErrBadPolicy) ||
+		errors.Is(err, plan.ErrBadCurve) {
 		return http.StatusBadRequest
 	}
 	if errors.Is(err, model.ErrUntrained) || errors.Is(err, model.ErrUncovered) {
@@ -287,6 +302,16 @@ type Server struct {
 	// fleet; GET /v1/cluster answers 404 until WithClusterInfo sets them.
 	clusterID    string
 	clusterPeers []string
+
+	// maxPlanJobs caps the jobs accepted per /v1/plan request.
+	maxPlanJobs  int
+	planOK       *obs.Counter
+	planRejected *obs.Counter
+	planFailed   *obs.Counter
+	planJobs     *obs.Counter
+	planSaved    *obs.Counter
+	planMakespan *obs.Histogram
+	planWait     *obs.Histogram
 
 	scoreOK       *obs.Counter
 	scoreRejected *obs.Counter
@@ -429,6 +454,7 @@ func newServer(p scorer, opts ...Option) (*Server, error) {
 		queueWait:   DefaultQueueWait,
 		retryAfter:  DefaultRetryAfter,
 		cacheCap:    DefaultCurveCacheCap,
+		maxPlanJobs: DefaultMaxPlanJobs,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -436,6 +462,7 @@ func newServer(p scorer, opts ...Option) (*Server, error) {
 	s.gate = newGate(s.maxInFlight, s.maxQueue, s.queueWait, s.retryAfter, s.reg)
 	s.cacheMet = newCacheMetrics(s.reg)
 	s.initTelemetryMetrics()
+	s.initPlanMetrics()
 
 	s.reg.SetHelp("tasq_score_jobs_total", "Jobs scored, by outcome (ok, rejected, failed).")
 	s.scoreOK = s.reg.Counter("tasq_score_jobs_total", "outcome", "ok")
@@ -456,6 +483,7 @@ func newServer(p scorer, opts ...Option) (*Server, error) {
 	// metrics and admin must keep answering while the service sheds load.
 	s.route("/v1/score", s.gated(http.HandlerFunc(s.handleScore)))
 	s.route("/v1/score/batch", s.gated(http.HandlerFunc(s.handleScoreBatch)))
+	s.route("/v1/plan", s.gated(http.HandlerFunc(s.handlePlan)))
 	s.route("/v1/telemetry", s.gated(http.HandlerFunc(s.handleTelemetry)))
 	s.route("/v1/models", http.HandlerFunc(s.handleModels))
 	s.route("/v1/cluster", http.HandlerFunc(s.handleCluster))
@@ -701,52 +729,17 @@ func (s *Server) score(req *ScoreRequest) (*ScoreResponse, error) {
 		return nil, errNoModel
 	}
 
-	// Curve lookup. A hit skips both the predictor and Job.Validate:
-	// entries are only stored for jobs that passed validation, and the
-	// exact key covers every field Validate constrains, so a job that
-	// would fail validation can never match a stored key.
-	var (
-		curve        pcc.Curve
-		served       string
-		servedScores *obs.Counter
-		hit          bool
-		kb           *keyBuf
-	)
-	if active.cache != nil {
-		kb = getKeyBuf()
-		defer putKeyBuf(kb)
-		appendScoreKey(kb, req.Model, req.Job)
-		var e cachedScore
-		if e, hit = active.cache.get(kb.b); hit {
-			curve, served, servedScores = e.curve, e.model, e.counter
-		}
-	}
-	if !hit {
-		if err := req.Job.Validate(); err != nil {
+	curve, served, servedScores, err := s.curveFor(active, req.Model, req.Job)
+	if err != nil {
+		// Routing and validation failures (invalid job, unknown name,
+		// untrained predictor) are the caller's to fix, not a pipeline
+		// malfunction.
+		if code := httpStatus(err); code == http.StatusBadRequest || code == http.StatusConflict {
 			s.scoreRejected.Inc()
-			return nil, reqErrf("serve: invalid job: %w", err)
-		}
-		var err error
-		curve, served, err = scoreVia(active.scorer, req)
-		if err != nil {
-			err = fmt.Errorf("serve: scoring: %w", err)
-			// Routing failures (unknown name, untrained predictor) are the
-			// caller's to fix, not a pipeline malfunction.
-			if code := httpStatus(err); code == http.StatusBadRequest || code == http.StatusConflict {
-				s.scoreRejected.Inc()
-			} else {
-				s.scoreFailed.Inc()
-			}
-			return nil, err
-		}
-		if !curve.Valid() {
+		} else {
 			s.scoreFailed.Inc()
-			return nil, fmt.Errorf("serve: scoring: model %s produced invalid curve %v", served, curve)
 		}
-		servedScores = s.reg.Counter("tasq_score_total", "model", served)
-		if active.cache != nil {
-			active.cache.put(kb.b, cachedScore{curve: curve, model: served, counter: servedScores})
-		}
+		return nil, err
 	}
 
 	threshold := req.Threshold
@@ -796,6 +789,42 @@ func (s *Server) score(req *ScoreRequest) (*ScoreResponse, error) {
 	servedScores.Inc()
 	s.shadowScore(req, curve, resp.OptimalTokens, maxTokens, threshold)
 	return resp, nil
+}
+
+// curveFor resolves the predicted PCC for one (model, job) pair through
+// the generation's memoized curve cache, falling back to the pipeline on
+// a miss — the resolution path /v1/score and /v1/plan share. A cache hit
+// skips both the predictor and Job.Validate: entries are only stored for
+// jobs that passed validation, and the exact key covers every field
+// Validate constrains, so a job that would fail validation can never
+// match a stored key. The caller classifies errors via httpStatus and
+// owns its own outcome counters; the returned per-model counter is the
+// tasq_score_total series for the predictor that served the curve.
+func (s *Server) curveFor(active *activeModel, modelName string, job *scopesim.Job) (pcc.Curve, string, *obs.Counter, error) {
+	var kb *keyBuf
+	if active.cache != nil {
+		kb = getKeyBuf()
+		defer putKeyBuf(kb)
+		appendScoreKey(kb, modelName, job)
+		if e, hit := active.cache.get(kb.b); hit {
+			return e.curve, e.model, e.counter, nil
+		}
+	}
+	if err := job.Validate(); err != nil {
+		return pcc.Curve{}, "", nil, reqErrf("serve: invalid job: %w", err)
+	}
+	curve, served, err := scoreViaName(active.scorer, modelName, job)
+	if err != nil {
+		return pcc.Curve{}, "", nil, fmt.Errorf("serve: scoring: %w", err)
+	}
+	if !curve.Valid() {
+		return pcc.Curve{}, "", nil, fmt.Errorf("serve: scoring: model %s produced invalid curve %v", served, curve)
+	}
+	servedScores := s.reg.Counter("tasq_score_total", "model", served)
+	if active.cache != nil {
+		active.cache.put(kb.b, cachedScore{curve: curve, model: served, counter: servedScores})
+	}
+	return curve, served, servedScores, nil
 }
 
 // shadowScore mirrors a sampled request into the candidate model and

@@ -13,13 +13,17 @@
 #                        sharded-fleet routing number (internal/cluster
 #                        bench_test.go): consistent-hash ring pick +
 #                        cached score on the owning member
+#   BENCH_planner.json   cluster-planner numbers (internal/plan
+#                        bench_test.go): full 1,000-job plan build and the
+#                        bare FCFS token simulation, as plans/sec with the
+#                        constant jobs/plan and the derived jobs/sec
 #
-# Both files derive jobs/sec (scores/sec) in ONE place — the shared awk
-# program below — from ns/op and the benchmark's constant jobs/op metric,
-# so no benchmark computes throughput itself. Re-run on a target machine
-# to refresh the checked-in numbers:
+# All files derive throughput (jobs/sec, plans/sec) in ONE place — the
+# shared awk program below — from ns/op and the benchmark's constant
+# jobs/op metric, so no benchmark computes throughput itself. Re-run on a
+# target machine to refresh the checked-in numbers:
 #
-#	scripts/bench.sh                  # writes both files
+#	scripts/bench.sh                  # writes all three files
 #	BENCHTIME=5x scripts/bench.sh     # more repetitions per point
 set -eu
 cd "$(dirname "$0")/.."
@@ -27,15 +31,20 @@ cd "$(dirname "$0")/.."
 benchtime="${BENCHTIME:-3x}"
 pipeline_out="${OUT:-BENCH_pipeline.json}"
 serving_out="${SERVING_OUT:-BENCH_serving.json}"
+planner_out="${PLANNER_OUT:-BENCH_planner.json}"
 raw=$(mktemp)
 sraw=$(mktemp)
-trap 'rm -f "$raw" "$sraw"' EXIT
+praw=$(mktemp)
+trap 'rm -f "$raw" "$sraw" "$praw"' EXIT
 
 echo "== go test -bench=BenchmarkPipeline -benchtime=$benchtime" >&2
 go test -run='^$' -bench='^BenchmarkPipeline' -benchtime="$benchtime" -count=1 . | tee "$raw" >&2
 
 echo "== go test ./internal/serve ./internal/cluster -bench='Benchmark(Score|Batch)' -benchtime=${SERVING_BENCHTIME:-100x}" >&2
 go test -run='^$' -bench='^Benchmark(Score|Batch)' -benchtime="${SERVING_BENCHTIME:-100x}" -count=1 ./internal/serve ./internal/cluster | tee "$sraw" >&2
+
+echo "== go test ./internal/plan -bench=BenchmarkPlan -benchtime=${PLANNER_BENCHTIME:-100x}" >&2
+go test -run='^$' -bench='^BenchmarkPlan' -benchtime="${PLANNER_BENCHTIME:-100x}" -count=1 ./internal/plan | tee "$praw" >&2
 
 goversion=$(go env GOVERSION)
 cpus=$(go run ./scripts/ncpu 2>/dev/null || getconf _NPROCESSORS_ONLN)
@@ -103,6 +112,17 @@ END {
 		if (("Suite" in serial) && ("Suite" in fastest) && fastest["Suite"] > 0)
 			e2e = serial["Suite"] / fastest["Suite"]
 		printf "  \"end_to_end_suite_speedup\": %.2f\n", e2e
+	} else if (mode == "planner") {
+		printf "  \"results\": [\n"
+		for (i = 1; i <= n; i++) {
+			name = order[i]
+			printf "    {\"name\": \"%s\", \"ns_per_op\": %.0f, \"plans_per_sec\": %.1f, \"jobs_per_plan\": %.0f, \"jobs_per_sec\": %.0f", \
+				name, nsof[name], 1e9 / nsof[name], jobsop[name] + 0, jps(nsof[name], jobsop[name])
+			if (allocs[name] != "") printf ", \"allocs_per_op\": %.0f", allocs[name]
+			if (bytes[name] != "") printf ", \"bytes_per_op\": %.0f", bytes[name]
+			printf "}%s\n", (i < n ? "," : "")
+		}
+		printf "  ]\n"
 	} else {
 		printf "  \"results\": [\n"
 		for (i = 1; i <= n; i++) {
@@ -122,5 +142,7 @@ awk -v mode=pipeline -v goversion="$goversion" -v cpus="$cpus" -v benchtime="$be
 	"$bench_awk" "$raw" > "$pipeline_out"
 awk -v mode=serving -v goversion="$goversion" -v cpus="$cpus" -v benchtime="${SERVING_BENCHTIME:-100x}" \
 	"$bench_awk" "$sraw" > "$serving_out"
+awk -v mode=planner -v goversion="$goversion" -v cpus="$cpus" -v benchtime="${PLANNER_BENCHTIME:-100x}" \
+	"$bench_awk" "$praw" > "$planner_out"
 
-echo "wrote $pipeline_out and $serving_out" >&2
+echo "wrote $pipeline_out, $serving_out and $planner_out" >&2

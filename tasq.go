@@ -9,6 +9,7 @@ import (
 	"tasq/internal/jobrepo"
 	"tasq/internal/model"
 	"tasq/internal/pcc"
+	"tasq/internal/plan"
 	"tasq/internal/registry"
 	"tasq/internal/scheduler"
 	"tasq/internal/scopesim"
@@ -70,6 +71,26 @@ type (
 	Cluster = scheduler.Cluster
 	// Submission is one job entering the cluster queue.
 	Submission = scheduler.Submission
+	// TokenPool is the shared all-or-nothing token ledger both the
+	// scheduler and the scopesim executor draw from.
+	TokenPool = plan.Pool
+	// AllocationPolicy selects a Figure-1 allocation strategy.
+	AllocationPolicy = plan.PolicyKind
+	// PlanJobSpec is one job's planning input: identity, arrival, the
+	// requested and peak token counts, and its predicted PCC.
+	PlanJobSpec = plan.JobSpec
+	// PlanConfig selects the pool capacity, policy and threshold for
+	// BuildPlan.
+	PlanConfig = plan.Config
+	// ClusterPlan is a built plan: per-job allocations, the simulated
+	// FCFS schedule, and aggregate queueing statistics.
+	ClusterPlan = plan.Plan
+	// PlanRequest is the POST /v1/plan input: a job batch, a pool
+	// capacity, and the policy/model/threshold driving allocation.
+	PlanRequest = serve.PlanRequest
+	// PlanResponse is the planner's answer, including the Peak-baseline
+	// cost and saved token-seconds.
+	PlanResponse = serve.PlanResponse
 	// ScoringServer serves PCC predictions over HTTP (Figure 4).
 	ScoringServer = serve.Server
 	// ScoringClient calls a scoring service.
@@ -205,6 +226,29 @@ func OpenModelRegistry(dir string) (*ModelRegistry, error) { return registry.Ope
 func NewModelReloader(reg *ModelRegistry, srv *ScoringServer, interval time.Duration) *ModelReloader {
 	return serve.NewReloader(reg, srv, interval, nil)
 }
+
+// Figure-1 allocation policies, usable in PlanConfig.Policy.
+const (
+	DefaultAllocation      = plan.PolicyDefault
+	PeakAllocation         = plan.PolicyPeak
+	AdaptivePeakAllocation = plan.PolicyAdaptivePeak
+	OptimalAllocation      = plan.PolicyOptimal
+)
+
+// NewTokenPool returns a token ledger of the given capacity.
+func NewTokenPool(capacity int) (*TokenPool, error) { return plan.NewPool(capacity) }
+
+// BuildPlan allocates a batch of jobs against a shared token pool and
+// simulates the resulting FCFS schedule — the in-process form of the
+// scoring service's POST /v1/plan.
+func BuildPlan(specs []PlanJobSpec, cfg PlanConfig) (*ClusterPlan, error) {
+	return plan.Build(specs, cfg)
+}
+
+// ParseAllocationPolicy parses a policy name ("default", "peak",
+// "adaptive-peak", "optimal", or a Figure-1 display name); the empty
+// string selects OptimalAllocation.
+func ParseAllocationPolicy(s string) (AllocationPolicy, error) { return plan.ParsePolicyKind(s) }
 
 // ParsePredictorPolicy parses a comma-separated fallback chain such as
 // "GNN,NN" (names are case- and punctuation-insensitive); the empty
