@@ -552,8 +552,9 @@ func cmdScore(args []string) error {
 
 // cmdPlan allocates a batch of repository jobs against a shared token
 // pool: scoring each job's PCC, applying the chosen allocation policy,
-// and simulating the FCFS queue. With -addr the batch is posted to a
-// live tasqd's /v1/plan; otherwise planning runs in process from -model.
+// and simulating the chosen scheduling strategy (-strategy fcfs,
+// backfill or retry). With -addr the batch is posted to a live tasqd's
+// /v1/plan; otherwise planning runs in process from -model.
 func cmdPlan(args []string) error {
 	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
 	data := fs.String("data", "repo.jsonl", "repository JSONL")
@@ -562,6 +563,7 @@ func cmdPlan(args []string) error {
 	n := fs.Int("n", 0, "jobs to plan (0 = the whole repository)")
 	capacity := fs.Int("capacity", 400, "pool capacity in guaranteed tokens")
 	alloc := fs.String("alloc", "optimal", "allocation policy: default, peak, adaptive-peak or optimal")
+	strategy := fs.String("strategy", "fcfs", "scheduling strategy: fcfs, backfill or retry")
 	threshold := fs.Float64("threshold", 0.01, "optimal-allocation threshold (marginal gain per token)")
 	predictor := fs.String("predictor", "", "score with this predictor (e.g. NN, AutoToken); empty follows the fallback policy")
 	if err := fs.Parse(args); err != nil {
@@ -583,6 +585,7 @@ func cmdPlan(args []string) error {
 		req := &serve.PlanRequest{
 			CapacityTokens: *capacity,
 			Policy:         *alloc,
+			Strategy:       *strategy,
 			Model:          *predictor,
 			Threshold:      *threshold,
 		}
@@ -605,6 +608,10 @@ func cmdPlan(args []string) error {
 	if err != nil {
 		return err
 	}
+	sched, err := plan.ParseStrategy(*strategy)
+	if err != nil {
+		return err
+	}
 	specs := make([]plan.JobSpec, len(recs))
 	served := make([]string, len(recs))
 	for i, rec := range recs {
@@ -620,25 +627,30 @@ func cmdPlan(args []string) error {
 		}
 		served[i] = name
 	}
-	built, err := plan.Build(specs, plan.Config{Capacity: *capacity, Policy: policy, Threshold: *threshold})
+	built, err := plan.Build(specs, plan.Config{Capacity: *capacity, Policy: policy, Threshold: *threshold, Strategy: sched})
 	if err != nil {
 		return err
 	}
 	resp := &serve.PlanResponse{
 		Policy:                   built.Policy.String(),
+		Strategy:                 built.Strategy.String(),
 		CapacityTokens:           built.Capacity,
 		MakespanSeconds:          built.Stats.MakespanSeconds,
 		MeanWaitSeconds:          built.Stats.MeanWaitSeconds,
 		MaxWaitSeconds:           built.Stats.MaxWaitSeconds,
 		TotalTokenSeconds:        built.Stats.TotalTokenSeconds,
 		PeakBaselineTokenSeconds: built.Stats.TotalTokenSeconds,
+		Retries:                  built.Stats.Retries,
+		RetryWasteTokenSeconds:   built.Stats.RetryWasteTokenSeconds,
+		DeadlineViolations:       built.Stats.DeadlineViolations,
+		FellBackToFCFS:           built.FellBack,
 	}
 	if base, err := plan.Build(specs, plan.Config{Capacity: *capacity, Policy: plan.PolicyPeak}); err == nil {
 		resp.PeakBaselineTokenSeconds = base.Stats.TotalTokenSeconds
 	}
 	resp.SavedTokenSeconds = resp.PeakBaselineTokenSeconds - resp.TotalTokenSeconds
 	for i, out := range built.Outcomes {
-		resp.Jobs = append(resp.Jobs, serve.PlanJobJSON{
+		j := serve.PlanJobJSON{
 			ID:                      out.ID,
 			Model:                   served[i],
 			Tokens:                  built.Allocations[i].Tokens,
@@ -646,7 +658,15 @@ func cmdPlan(args []string) error {
 			StartSecond:             out.StartSecond,
 			WaitSeconds:             out.WaitSeconds,
 			EndSecond:               out.EndSecond,
-		})
+			Attempts:                1,
+		}
+		if a := built.Allocations[i]; a.RetryTokens > 0 {
+			j.Attempts = 2
+			j.RetryTokens = a.RetryTokens
+			j.RetryRuntimeSeconds = a.RetryDurationSeconds
+			j.RetryStartSecond = out.RetryStartSecond
+		}
+		resp.Jobs = append(resp.Jobs, j)
 	}
 	printPlan(resp)
 	return nil
@@ -655,8 +675,15 @@ func cmdPlan(args []string) error {
 // printPlan renders a plan: the first jobs row by row, then the
 // cluster-level cost and queueing summary.
 func printPlan(resp *serve.PlanResponse) {
-	fmt.Printf("planned %d jobs under %s (pool %d tokens)\n",
-		len(resp.Jobs), resp.Policy, resp.CapacityTokens)
+	how := resp.Strategy
+	if how == "" {
+		how = "fcfs"
+	}
+	if resp.FellBackToFCFS {
+		how += " (fell back to fcfs)"
+	}
+	fmt.Printf("planned %d jobs under %s / %s (pool %d tokens)\n",
+		len(resp.Jobs), resp.Policy, how, resp.CapacityTokens)
 	const maxRows = 10
 	fmt.Printf("%-14s %-14s %7s %9s %7s %6s %7s\n", "JOB", "MODEL", "TOKENS", "RUNTIME_S", "START", "WAIT", "END")
 	for i, j := range resp.Jobs {
@@ -675,4 +702,11 @@ func printPlan(resp *serve.PlanResponse) {
 	}
 	fmt.Printf("cost %d token-seconds vs %d peak baseline: saved %d (%.1f%%)\n",
 		resp.TotalTokenSeconds, resp.PeakBaselineTokenSeconds, resp.SavedTokenSeconds, savedPct)
+	if resp.Retries > 0 {
+		fmt.Printf("retries: %d jobs overran their first slice, wasting %d token-seconds\n",
+			resp.Retries, resp.RetryWasteTokenSeconds)
+	}
+	if resp.DeadlineViolations > 0 {
+		fmt.Printf("deadline violations: %d\n", resp.DeadlineViolations)
+	}
 }

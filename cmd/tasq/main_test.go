@@ -29,6 +29,8 @@ func TestCLIWorkflow(t *testing.T) {
 		{"plan", "-data", repo, "-model", model, "-capacity", "400", "-n", "50"},
 		{"plan", "-data", repo, "-model", model, "-capacity", "400", "-alloc", "peak"},
 		{"plan", "-data", repo, "-model", model, "-capacity", "200", "-predictor", "jockey", "-threshold", "0.05"},
+		{"plan", "-data", repo, "-model", model, "-capacity", "400", "-strategy", "backfill"},
+		{"plan", "-data", repo, "-model", model, "-capacity", "400", "-strategy", "retry"},
 	}
 	for _, args := range steps {
 		if err := run(args); err != nil {
@@ -54,6 +56,9 @@ func TestCLIWorkflow(t *testing.T) {
 	}
 	if err := run([]string{"plan", "-data", repo, "-model", model, "-alloc", "lifo"}); err == nil {
 		t.Fatal("unknown allocation policy accepted by plan")
+	}
+	if err := run([]string{"plan", "-data", repo, "-model", model, "-strategy", "lifo"}); err == nil {
+		t.Fatal("unknown scheduling strategy accepted by plan")
 	}
 }
 

@@ -10,6 +10,7 @@
 //	POST /v1/score         job scoring (see internal/serve for the schema)
 //	POST /v1/score/batch   concurrent batch scoring
 //	POST /v1/plan          cluster planning: allocate a job batch against a token pool
+//	                       (fcfs, backfill or retry scheduling; tenant quotas; deadlines)
 //	GET  /v1/models        the loaded pipeline's predictor set
 //	GET  /v1/cluster       fleet identity and serving state (-cluster-id mode)
 //	POST /v1/admin/reload  immediate registry sync (registry mode)

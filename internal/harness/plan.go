@@ -5,22 +5,34 @@
 // Optimal allocation policy provisions measurably fewer token-seconds
 // than the Peak-allocation baseline and the AutoToken (§6.2) baseline
 // without giving up throughput (the optimal makespan never exceeds the
-// peak makespan on the same batch). A few plans additionally travel the
-// real POST /v1/plan wire and must match the in-process result event for
-// event. Every allocation decision folds into an FNV-1a fingerprint, so
-// two runs with the same seed must agree bit for bit.
+// peak makespan on the same batch).
+//
+// It is also the differential harness for the scheduling strategies:
+// every batch additionally runs through backfill bin-packing and
+// first-allocation retry lanes over the identical jobs, asserting per
+// plan that backfill never costs more token-seconds or stretches the
+// makespan versus FCFS, that retry's two-attempt accounting matches the
+// closed form, and that every lane's schedule is feasible — capacity and
+// per-tenant quotas respected at every instant of the event timeline
+// (plan.ValidateSchedule). A few plans additionally travel the real
+// POST /v1/plan wire (one per strategy) and must match the in-process
+// result event for event. Every allocation decision folds into an
+// FNV-1a fingerprint, so two runs with the same seed must agree bit for
+// bit.
 package harness
 
 import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"math/rand"
 	"net/http/httptest"
 	"sync"
 
 	"tasq/internal/jobrepo"
 	"tasq/internal/parallel"
+	"tasq/internal/plan"
 	"tasq/internal/scopesim"
 	"tasq/internal/serve"
 	"tasq/internal/trainer"
@@ -41,7 +53,8 @@ type PlanSoakConfig struct {
 	// worker-count independent: per-plan outcomes are folded in plan order.
 	Workers int
 	// HTTPPlans is how many plans are additionally driven through the real
-	// POST /v1/plan endpoint and cross-checked against PlanLocal (0 = 3).
+	// POST /v1/plan endpoint and cross-checked against PlanLocal, cycling
+	// through the three scheduling strategies (0 = 3).
 	HTTPPlans int
 	// Short trims the run for -short CI.
 	Short bool
@@ -65,6 +78,21 @@ type PlanSoakResult struct {
 	// makespans; optimal ≤ peak is the throughput claim.
 	OptimalMakespanSeconds int64
 	PeakMakespanSeconds    int64
+	// BackfillTokenSeconds / BackfillMakespanSeconds aggregate the
+	// backfill bin-packing lane (same allocations as the Optimal lane,
+	// packed schedule); backfill ≤ optimal on both is the differential
+	// claim, enforced per plan.
+	BackfillTokenSeconds    int64
+	BackfillMakespanSeconds int64
+	// BackfillFellBack counts plans where the packed schedule would have
+	// regressed FCFS and the planner kept the FCFS schedule.
+	BackfillFellBack int64
+	// RetryTokenSeconds / RetryWasteTokenSeconds / Retries aggregate the
+	// first-allocation retry lane: total two-attempt cost, the failed
+	// first slices' share, and how many jobs overran.
+	RetryTokenSeconds      int64
+	RetryWasteTokenSeconds int64
+	Retries                int64
 	// SavedVsPeakFraction / SavedVsAutoFraction are the relative savings
 	// of the Optimal lane against each baseline.
 	SavedVsPeakFraction float64
@@ -101,27 +129,47 @@ func (cfg *PlanSoakConfig) defaults() {
 
 // planLane is one allocation strategy driven over a batch.
 type planLane struct {
-	policy string
-	model  string
+	policy   string
+	model    string
+	strategy string
 }
 
-// soakLanes are the three compared strategies. Order matters: the
-// fingerprint folds lanes in this order.
+// soakLanes are the compared strategies. Order matters: the fingerprint
+// folds lanes in this order, and the differential assertions index into
+// it.
 var soakLanes = []planLane{
-	{policy: "optimal"},                     // TASQ: trained-model PCC, sub-peak optimal
-	{policy: "peak"},                        // Peak-allocation baseline
-	{policy: "optimal", model: "AutoToken"}, // AutoToken-driven (§6.2) baseline
+	{policy: "optimal"},                       // TASQ: trained-model PCC, sub-peak optimal, FCFS
+	{policy: "peak"},                          // Peak-allocation baseline
+	{policy: "optimal", model: "AutoToken"},   // AutoToken-driven (§6.2) baseline
+	{policy: "optimal", strategy: "backfill"}, // packed schedule, same allocations as lane 0
+	{policy: "optimal", strategy: "retry"},    // first-allocation + peak re-run
 }
+
+// Lane indices into soakLanes.
+const (
+	laneOptimal = iota
+	lanePeak
+	laneAuto
+	laneBackfill
+	laneRetry
+)
+
+// soakStrategies cycles the HTTP cross-check plans through every
+// scheduling strategy.
+var soakStrategies = []string{"fcfs", "backfill", "retry"}
 
 // planOutcome is one lane's aggregate over one plan.
 type planOutcome struct {
 	cost     int64
 	makespan int64
 	hash     uint64
+	waste    int64
+	retries  int64
+	fellBack bool
 }
 
 // hashPlan fingerprints a plan response: every job's allocation and
-// schedule, in order.
+// schedule (both attempts), in order.
 func hashPlan(resp *serve.PlanResponse) uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
@@ -130,37 +178,148 @@ func hashPlan(resp *serve.PlanResponse) uint64 {
 		h.Write(buf[:])
 	}
 	h.Write([]byte(resp.Policy))
+	h.Write([]byte(resp.Strategy))
 	word(resp.CapacityTokens)
 	word(resp.TotalTokenSeconds)
 	word(resp.MakespanSeconds)
+	word(resp.Retries)
+	word(resp.RetryWasteTokenSeconds)
+	word(resp.DeadlineViolations)
+	if resp.FellBackToFCFS {
+		word(1)
+	}
 	for _, j := range resp.Jobs {
 		h.Write([]byte(j.ID))
+		h.Write([]byte(j.Tenant))
 		word(j.Tokens)
 		word(j.PredictedRuntimeSeconds)
 		word(j.StartSecond)
 		word(j.WaitSeconds)
 		word(j.EndSecond)
+		word(j.DeadlineSecond)
+		word(j.Attempts)
+		word(j.RetryTokens)
+		word(j.RetryRuntimeSeconds)
+		word(j.RetryStartSecond)
 	}
 	return h.Sum64()
 }
 
 // soakRequest builds plan p's batch: jobs sampled (with replacement) from
-// the covered pool plus a bursty arrival schedule, both a pure function
-// of (seed, p).
+// the covered pool, a bursty arrival schedule, round-robin tenants under
+// concurrent-token quotas, and an SLA deadline on a slice of the jobs —
+// all a pure function of (seed, p).
 func soakRequest(seed int64, p int, pool []*scopesim.Job, cfg *PlanSoakConfig) *serve.PlanRequest {
 	rng := rand.New(rand.NewSource(parallel.Seed(seed, p)))
 	req := &serve.PlanRequest{
-		CapacityTokens: cfg.Capacity,
-		Jobs:           make([]*scopesim.Job, cfg.JobsPerPlan),
-		ArrivalSeconds: make([]int, cfg.JobsPerPlan),
+		CapacityTokens:  cfg.Capacity,
+		Jobs:            make([]*scopesim.Job, cfg.JobsPerPlan),
+		ArrivalSeconds:  make([]float64, cfg.JobsPerPlan),
+		DeadlineSeconds: make([]int, cfg.JobsPerPlan),
+		Tenants:         make([]string, cfg.JobsPerPlan),
+		// Three tenants share the pool; each may hold at most 60% of it
+		// at once, so the quota binds when a tenant's jobs cluster.
+		Quotas: map[string]int{
+			"tenant-a": cfg.Capacity * 3 / 5,
+			"tenant-b": cfg.Capacity * 3 / 5,
+			"tenant-c": cfg.Capacity * 3 / 5,
+		},
 	}
+	tenants := []string{"tenant-a", "tenant-b", "tenant-c"}
 	arrival := 0
 	for i := range req.Jobs {
 		req.Jobs[i] = pool[rng.Intn(len(pool))]
-		req.ArrivalSeconds[i] = arrival
+		req.ArrivalSeconds[i] = float64(arrival)
+		req.Tenants[i] = tenants[rng.Intn(len(tenants))]
+		if i%8 == 0 {
+			// An SLA holder: generous but finite slack past its arrival.
+			req.DeadlineSeconds[i] = arrival + 512 + rng.Intn(8192)
+		}
 		arrival += rng.Intn(3) // bursty: ~1s mean inter-arrival keeps a backlog
 	}
 	return req
+}
+
+// validatePlanResponse rebuilds the schedule a response describes and
+// sweeps its event timeline: capacity and per-tenant quotas respected at
+// every instant, every leg feasible, and the retry lanes' two-attempt
+// accounting matching the closed form Σ first + Σ overrun peak legs.
+func validatePlanResponse(req *serve.PlanRequest, resp *serve.PlanResponse) error {
+	allocs := make([]plan.Allocation, len(resp.Jobs))
+	outs := make([]plan.Outcome, len(resp.Jobs))
+	total, waste, retries := 0, 0, 0
+	for i, j := range resp.Jobs {
+		arrival := 0
+		if len(req.ArrivalSeconds) > 0 {
+			arrival = int(math.Floor(req.ArrivalSeconds[i]))
+		}
+		allocs[i] = plan.Allocation{
+			ID:                   j.ID,
+			ArrivalSecond:        arrival,
+			Tokens:               j.Tokens,
+			DurationSeconds:      j.PredictedRuntimeSeconds,
+			Tenant:               j.Tenant,
+			DeadlineSecond:       j.DeadlineSecond,
+			RetryTokens:          j.RetryTokens,
+			RetryDurationSeconds: j.RetryRuntimeSeconds,
+		}
+		outs[i] = plan.Outcome{
+			ID:               j.ID,
+			StartSecond:      j.StartSecond,
+			WaitSeconds:      j.WaitSeconds,
+			EndSecond:        j.EndSecond,
+			RetryStartSecond: j.RetryStartSecond,
+		}
+		total += j.Tokens * j.PredictedRuntimeSeconds
+		if j.Attempts == 2 {
+			retries++
+			waste += j.Tokens * j.PredictedRuntimeSeconds
+			total += j.RetryTokens * j.RetryRuntimeSeconds
+		}
+	}
+	if total != resp.TotalTokenSeconds {
+		return fmt.Errorf("closed-form cost %d != reported %d", total, resp.TotalTokenSeconds)
+	}
+	if waste != resp.RetryWasteTokenSeconds || retries != resp.Retries {
+		return fmt.Errorf("closed-form retry accounting (%d waste, %d retries) != reported (%d, %d)",
+			waste, retries, resp.RetryWasteTokenSeconds, resp.Retries)
+	}
+	return plan.ValidateSchedule(req.CapacityTokens, plan.Quota(req.Quotas), allocs, outs)
+}
+
+// checkLanes applies the per-plan differential claims across one batch's
+// lanes.
+func checkLanes(i int, lanes []planOutcome) error {
+	opt, peak := lanes[laneOptimal], lanes[lanePeak]
+	// Cluster claims: the Optimal lane must beat Peak on cost without
+	// losing throughput on the identical batch.
+	if opt.cost >= peak.cost {
+		return fmt.Errorf("plan %d: optimal cost %d ≥ peak cost %d", i, opt.cost, peak.cost)
+	}
+	if opt.makespan > peak.makespan {
+		return fmt.Errorf("plan %d: optimal makespan %d exceeds peak %d (throughput regression)",
+			i, opt.makespan, peak.makespan)
+	}
+	// Differential claims: backfill packs the same allocations, so it
+	// can never cost more, and the fallback guard means it never
+	// stretches the makespan either.
+	bf := lanes[laneBackfill]
+	if bf.cost > opt.cost {
+		return fmt.Errorf("plan %d: backfill cost %d exceeds FCFS %d", i, bf.cost, opt.cost)
+	}
+	if bf.makespan > opt.makespan {
+		return fmt.Errorf("plan %d: backfill makespan %d exceeds FCFS %d", i, bf.makespan, opt.makespan)
+	}
+	// Retry pays the same first slices plus the overrun re-runs: its
+	// cost is FCFS plus a nonnegative waste term.
+	rt := lanes[laneRetry]
+	if rt.cost < opt.cost {
+		return fmt.Errorf("plan %d: retry cost %d below its own first-slice cost %d", i, rt.cost, opt.cost)
+	}
+	if rt.waste < 0 || rt.cost-opt.cost < rt.waste {
+		return fmt.Errorf("plan %d: retry waste %d inconsistent with cost delta %d", i, rt.waste, rt.cost-opt.cost)
+	}
+	return nil
 }
 
 // RunPlanSoak executes one planner soak end to end. Any invariant
@@ -203,8 +362,8 @@ func RunPlanSoak(cfg PlanSoakConfig) (*PlanSoakResult, error) {
 	if len(pool) == 0 {
 		return nil, fmt.Errorf("plan soak: no recurring jobs in the seeded workload")
 	}
-	logf("harness: plan soak start (seed=%d plans=%d jobs/plan=%d pool=%d workers=%d)",
-		cfg.Seed, cfg.Plans, cfg.JobsPerPlan, len(pool), cfg.Workers)
+	logf("harness: plan soak start (seed=%d plans=%d jobs/plan=%d pool=%d workers=%d lanes=%d)",
+		cfg.Seed, cfg.Plans, cfg.JobsPerPlan, len(pool), cfg.Workers, len(soakLanes))
 
 	// ---- Bulk lanes: seeded workers, per-plan outcomes folded in order.
 	outcomes := make([][]planOutcome, cfg.Plans) // [plan][lane]
@@ -223,17 +382,29 @@ func RunPlanSoak(cfg PlanSoakConfig) (*PlanSoakResult, error) {
 				req := soakRequest(cfg.Seed, i, pool, &cfg)
 				lanes := make([]planOutcome, len(soakLanes))
 				for li, lane := range soakLanes {
-					req.Policy, req.Model = lane.policy, lane.model
+					req.Policy, req.Model, req.Strategy = lane.policy, lane.model, lane.strategy
 					resp, err := srv.PlanLocal(req)
 					if err != nil {
-						errs.set(fmt.Errorf("plan %d lane %s/%s: %w", i, lane.policy, lane.model, err))
+						errs.set(fmt.Errorf("plan %d lane %s/%s/%s: %w", i, lane.policy, lane.model, lane.strategy, err))
+						return
+					}
+					if err := validatePlanResponse(req, resp); err != nil {
+						errs.set(fmt.Errorf("plan %d lane %s/%s/%s: infeasible schedule: %w",
+							i, lane.policy, lane.model, lane.strategy, err))
 						return
 					}
 					lanes[li] = planOutcome{
 						cost:     int64(resp.TotalTokenSeconds),
 						makespan: int64(resp.MakespanSeconds),
 						hash:     hashPlan(resp),
+						waste:    int64(resp.RetryWasteTokenSeconds),
+						retries:  int64(resp.Retries),
+						fellBack: resp.FellBackToFCFS,
 					}
+				}
+				if err := checkLanes(i, lanes); err != nil {
+					errs.set(err)
+					return
 				}
 				outcomes[i] = lanes
 			}
@@ -247,22 +418,20 @@ func RunPlanSoak(cfg PlanSoakConfig) (*PlanSoakResult, error) {
 	res := &PlanSoakResult{Plans: cfg.Plans, Jobs: cfg.Plans * cfg.JobsPerPlan}
 	fold := fnv.New64a()
 	var buf [8]byte
-	for i, lanes := range outcomes {
-		opt, peak, auto := lanes[0], lanes[1], lanes[2]
-		// Per-plan cluster claims: the Optimal lane must beat Peak on cost
-		// without losing throughput on the identical batch.
-		if opt.cost >= peak.cost {
-			return nil, fmt.Errorf("plan %d: optimal cost %d ≥ peak cost %d", i, opt.cost, peak.cost)
+	for _, lanes := range outcomes {
+		res.OptimalTokenSeconds += lanes[laneOptimal].cost
+		res.PeakTokenSeconds += lanes[lanePeak].cost
+		res.AutoTokenSeconds += lanes[laneAuto].cost
+		res.OptimalMakespanSeconds += lanes[laneOptimal].makespan
+		res.PeakMakespanSeconds += lanes[lanePeak].makespan
+		res.BackfillTokenSeconds += lanes[laneBackfill].cost
+		res.BackfillMakespanSeconds += lanes[laneBackfill].makespan
+		if lanes[laneBackfill].fellBack {
+			res.BackfillFellBack++
 		}
-		if opt.makespan > peak.makespan {
-			return nil, fmt.Errorf("plan %d: optimal makespan %d exceeds peak %d (throughput regression)",
-				i, opt.makespan, peak.makespan)
-		}
-		res.OptimalTokenSeconds += opt.cost
-		res.PeakTokenSeconds += peak.cost
-		res.AutoTokenSeconds += auto.cost
-		res.OptimalMakespanSeconds += opt.makespan
-		res.PeakMakespanSeconds += peak.makespan
+		res.RetryTokenSeconds += lanes[laneRetry].cost
+		res.RetryWasteTokenSeconds += lanes[laneRetry].waste
+		res.Retries += lanes[laneRetry].retries
 		for _, lane := range lanes {
 			binary.LittleEndian.PutUint64(buf[:], lane.hash)
 			fold.Write(buf[:])
@@ -272,10 +441,10 @@ func RunPlanSoak(cfg PlanSoakConfig) (*PlanSoakResult, error) {
 	res.SavedVsPeakFraction = 1 - float64(res.OptimalTokenSeconds)/float64(res.PeakTokenSeconds)
 	res.SavedVsAutoFraction = 1 - float64(res.OptimalTokenSeconds)/float64(res.AutoTokenSeconds)
 
-	// ---- Wire proof: a few plans travel the real endpoint and must match
-	// the in-process result event for event. The wire batches are clamped
-	// so a plan of full workload jobs stays inside the serving layer's
-	// 16 MiB request-body bound.
+	// ---- Wire proof: a few plans travel the real endpoint — one per
+	// scheduling strategy — and must match the in-process result event
+	// for event. The wire batches are clamped so a plan of full workload
+	// jobs stays inside the serving layer's 16 MiB request-body bound.
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	client := serve.NewClient(ts.URL)
@@ -286,22 +455,26 @@ func RunPlanSoak(cfg PlanSoakConfig) (*PlanSoakResult, error) {
 	for i := 0; i < cfg.HTTPPlans; i++ {
 		req := soakRequest(cfg.Seed, i, pool, &wireCfg)
 		req.Policy = "optimal"
+		req.Strategy = soakStrategies[i%len(soakStrategies)]
 		wire, err := client.Plan(req)
 		if err != nil {
-			return nil, fmt.Errorf("HTTP plan %d: %w", i, err)
+			return nil, fmt.Errorf("HTTP plan %d (%s): %w", i, req.Strategy, err)
 		}
 		local, err := srv.PlanLocal(req)
 		if err != nil {
-			return nil, fmt.Errorf("local re-plan %d: %w", i, err)
+			return nil, fmt.Errorf("local re-plan %d (%s): %w", i, req.Strategy, err)
 		}
 		if wh, lh := hashPlan(wire), hashPlan(local); wh != lh {
-			return nil, fmt.Errorf("HTTP plan %d diverges from PlanLocal: %016x vs %016x", i, wh, lh)
+			return nil, fmt.Errorf("HTTP plan %d (%s) diverges from PlanLocal: %016x vs %016x", i, req.Strategy, wh, lh)
 		}
 		res.HTTPPlans++
 	}
 
-	logf("harness: plan soak done: %d jobs, optimal %d vs peak %d vs autotoken %d token-seconds (saved %.1f%% / %.1f%%)",
+	logf("harness: plan soak done: %d jobs, optimal %d vs peak %d vs autotoken %d token-seconds (saved %.1f%% / %.1f%%); "+
+		"backfill makespan %d vs fcfs %d (%d fallbacks); retry %d token-seconds (%d retries, %d waste)",
 		res.Jobs, res.OptimalTokenSeconds, res.PeakTokenSeconds, res.AutoTokenSeconds,
-		res.SavedVsPeakFraction*100, res.SavedVsAutoFraction*100)
+		res.SavedVsPeakFraction*100, res.SavedVsAutoFraction*100,
+		res.BackfillMakespanSeconds, res.OptimalMakespanSeconds, res.BackfillFellBack,
+		res.RetryTokenSeconds, res.Retries, res.RetryWasteTokenSeconds)
 	return res, nil
 }

@@ -42,9 +42,30 @@ func TestPlanSoak(t *testing.T) {
 	if res.HTTPPlans < 1 {
 		t.Fatal("no plan traveled the HTTP wire")
 	}
-	t.Logf("plan soak: %d jobs, saved %.1f%% vs Peak, %.1f%% vs AutoToken, makespan %d vs %d, fingerprint %016x",
+
+	// Differential lanes: backfill must pack at least as well as FCFS in
+	// aggregate (the per-plan ≤ inequalities are enforced inside
+	// RunPlanSoak), and the retry lane must actually exercise overruns so
+	// its closed-form accounting is tested against nonzero waste.
+	if res.BackfillTokenSeconds > res.OptimalTokenSeconds {
+		t.Fatalf("backfill cost %d exceeds FCFS %d", res.BackfillTokenSeconds, res.OptimalTokenSeconds)
+	}
+	if res.BackfillMakespanSeconds > res.OptimalMakespanSeconds {
+		t.Fatalf("backfill makespan %d exceeds FCFS %d", res.BackfillMakespanSeconds, res.OptimalMakespanSeconds)
+	}
+	if res.Retries == 0 || res.RetryWasteTokenSeconds == 0 {
+		t.Fatalf("retry lane never overran (%d retries, %d waste): the two-attempt path went untested",
+			res.Retries, res.RetryWasteTokenSeconds)
+	}
+	if res.RetryTokenSeconds < res.OptimalTokenSeconds+res.RetryWasteTokenSeconds {
+		t.Fatalf("retry cost %d below first slices %d + waste %d",
+			res.RetryTokenSeconds, res.OptimalTokenSeconds, res.RetryWasteTokenSeconds)
+	}
+	t.Logf("plan soak: %d jobs, saved %.1f%% vs Peak, %.1f%% vs AutoToken, makespan %d vs %d, "+
+		"backfill makespan %d (%d fallbacks), %d retries, fingerprint %016x",
 		res.Jobs, res.SavedVsPeakFraction*100, res.SavedVsAutoFraction*100,
-		res.OptimalMakespanSeconds, res.PeakMakespanSeconds, res.Fingerprint)
+		res.OptimalMakespanSeconds, res.PeakMakespanSeconds,
+		res.BackfillMakespanSeconds, res.BackfillFellBack, res.Retries, res.Fingerprint)
 }
 
 // TestPlanSoakReproducible runs the soak twice with the same seed and
@@ -67,7 +88,10 @@ func TestPlanSoakReproducible(t *testing.T) {
 	if a.OptimalTokenSeconds != b.OptimalTokenSeconds ||
 		a.PeakTokenSeconds != b.PeakTokenSeconds ||
 		a.AutoTokenSeconds != b.AutoTokenSeconds ||
-		a.OptimalMakespanSeconds != b.OptimalMakespanSeconds {
+		a.OptimalMakespanSeconds != b.OptimalMakespanSeconds ||
+		a.BackfillTokenSeconds != b.BackfillTokenSeconds ||
+		a.RetryTokenSeconds != b.RetryTokenSeconds ||
+		a.Retries != b.Retries {
 		t.Fatalf("same-seed totals diverge:\n%+v\n%+v", a, b)
 	}
 

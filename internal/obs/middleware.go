@@ -138,6 +138,7 @@ const (
 	MetricPlanRequests         = "tasq_plan_requests_total"
 	MetricPlanJobs             = "tasq_plan_jobs_total"
 	MetricPlanSavedTokenSecs   = "tasq_plan_saved_token_seconds_total"
+	MetricPlanRetryWasteSecs   = "tasq_plan_retry_waste_token_seconds_total"
 	MetricPlanMakespanSeconds  = "tasq_plan_makespan_seconds"
 	MetricPlanQueueWaitSeconds = "tasq_plan_queue_wait_seconds"
 )

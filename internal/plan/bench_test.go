@@ -14,7 +14,7 @@ func benchSpecs(n int) []JobSpec {
 		a := -0.2 - 0.6*float64(i%7)/7 // slopes in [−0.2, −0.8)
 		specs[i] = JobSpec{
 			ID:              "bench",
-			ArrivalSecond:   i / 4,
+			ArrivalSecond:   float64(i / 4),
 			RequestedTokens: 40 + i%120,
 			PeakTokens:      20 + i%90,
 			Curve:           pcc.Curve{A: a, B: 400 + float64(i%300)},
@@ -29,6 +29,49 @@ func benchSpecs(n int) []JobSpec {
 func BenchmarkPlanBuild1000(b *testing.B) {
 	specs := benchSpecs(1000)
 	cfg := Config{Capacity: 400, Policy: PolicyOptimal}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(specs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(specs)), "jobs/op")
+}
+
+// BenchmarkPlanBackfill1000 measures the deadline-aware bin-packing
+// strategy end to end, including the FCFS reference simulation the
+// no-regression guard requires. Deadlines on every 8th job and two
+// tenant quotas keep both guard paths hot.
+func BenchmarkPlanBackfill1000(b *testing.B) {
+	specs := benchSpecs(1000)
+	for i := range specs {
+		specs[i].Tenant = []string{"acme", "globex"}[i%2]
+		if i%8 == 0 {
+			specs[i].DeadlineSecond = int(specs[i].ArrivalSecond) + 2000
+		}
+	}
+	cfg := Config{
+		Capacity: 400,
+		Policy:   PolicyOptimal,
+		Strategy: StrategyBackfill,
+		Quota:    Quota{"acme": 300, "globex": 300},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(specs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(specs)), "jobs/op")
+}
+
+// BenchmarkPlanRetry1000 measures the first-allocation retry strategy:
+// seeded demand draws, two-attempt scheduling and waste accounting.
+func BenchmarkPlanRetry1000(b *testing.B) {
+	specs := benchSpecs(1000)
+	cfg := Config{Capacity: 400, Policy: PolicyOptimal, Strategy: StrategyRetry, RetrySeed: 42}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,124 @@
+package plan
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"tasq/internal/pcc"
+)
+
+// fuzzSpecs decodes a job batch from raw fuzz bytes: 12 bytes per job.
+// The arrival is the first 8 bytes reinterpreted as a float64, so the
+// fuzzer naturally probes NaN, ±Inf, negatives, subnormals and
+// overflowing magnitudes against the ErrBadArrival guard.
+func fuzzSpecs(data []byte) []JobSpec {
+	const per = 12
+	n := len(data) / per
+	if n > 64 {
+		n = 64
+	}
+	specs := make([]JobSpec, 0, n)
+	for i := 0; i < n; i++ {
+		c := data[i*per : (i+1)*per]
+		specs = append(specs, JobSpec{
+			ID:              string('a'+rune(i%26)) + string('a'+rune(c[8]%26)),
+			ArrivalSecond:   math.Float64frombits(binary.LittleEndian.Uint64(c[:8])),
+			RequestedTokens: int(c[8]) - 4, // probes ≤ 0 requests (clamped by Build)
+			PeakTokens:      int(c[9]) - 4,
+			Curve:           pcc.Curve{A: -2 + float64(c[10])/64, B: float64(c[11]) * 3},
+			DeadlineSecond:  int(int8(c[10])) * 8, // probes negative deadlines
+			Tenant:          []string{"", "acme", "globex"}[c[11]%3],
+		})
+	}
+	return specs
+}
+
+// FuzzPlanBuild drives Build across all three scheduling strategies with
+// adversarial batches. A rejected input must come back as a typed error;
+// an accepted one must yield a feasible schedule: the ValidateSchedule
+// event sweep (pool capacity and tenant quotas at every instant, every
+// leg consistent) and Summarize must agree with the plan's own stats.
+func FuzzPlanBuild(f *testing.F) {
+	valid := make([]byte, 24)
+	binary.LittleEndian.PutUint64(valid[0:8], math.Float64bits(0))
+	valid[8], valid[9], valid[10], valid[11] = 80, 60, 96, 50
+	binary.LittleEndian.PutUint64(valid[12:20], math.Float64bits(2.5))
+	valid[20], valid[21], valid[22], valid[23] = 10, 200, 128, 90
+	f.Add(valid, 100, uint64(1))
+	nan := make([]byte, 12)
+	binary.LittleEndian.PutUint64(nan, math.Float64bits(math.NaN()))
+	f.Add(nan, 50, uint64(7))
+	f.Add([]byte{}, 0, uint64(0))
+
+	f.Fuzz(func(t *testing.T, data []byte, capacity int, seed uint64) {
+		specs := fuzzSpecs(data)
+		quota := Quota{"acme": 1 + int(seed%200), "globex": 1 + int(seed>>8%200)}
+		for _, s := range []Strategy{StrategyFCFS, StrategyBackfill, StrategyRetry} {
+			cfg := Config{
+				Capacity:  capacity,
+				Policy:    PolicyKind(seed % 4),
+				Strategy:  s,
+				Quota:     quota,
+				RetrySeed: seed,
+			}
+			p, err := Build(specs, cfg)
+			if err != nil {
+				continue // typed rejection is a valid outcome; panics are not
+			}
+			if len(p.Allocations) != len(specs) || len(p.Outcomes) != len(specs) {
+				t.Fatalf("strategy %v: %d allocs / %d outcomes for %d specs",
+					s, len(p.Allocations), len(p.Outcomes), len(specs))
+			}
+			if err := ValidateSchedule(cfg.Capacity, cfg.Quota, p.Allocations, p.Outcomes); err != nil {
+				t.Fatalf("strategy %v: accepted plan is infeasible: %v", s, err)
+			}
+			if st := Summarize(p.Allocations, p.Outcomes); st != p.Stats {
+				t.Fatalf("strategy %v: stats %+v != recomputed %+v", s, p.Stats, st)
+			}
+			if s != StrategyRetry && p.Stats.Retries != 0 {
+				t.Fatalf("strategy %v: %d retries outside StrategyRetry", s, p.Stats.Retries)
+			}
+		}
+	})
+}
+
+// FuzzParsePolicyKind asserts the parser never panics and that every
+// accepted input round-trips: the parsed policy's canonical name parses
+// back to the same policy.
+func FuzzParsePolicyKind(f *testing.F) {
+	for _, s := range []string{"", "optimal", "Peak Allocation", "ADAPTIVE_PEAK", "default",
+		"allocation", " opt imal ", "peak\n", "optimal allocation", "ALLOCATION!!"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		k, err := ParsePolicyKind(s)
+		if err != nil {
+			return
+		}
+		if k < PolicyDefault || k > PolicyOptimal {
+			t.Fatalf("ParsePolicyKind(%q) accepted out-of-range kind %d", s, k)
+		}
+		back, err := ParsePolicyKind(k.String())
+		if err != nil || back != k {
+			t.Fatalf("canonical name %q of %q does not round-trip: %v, %v", k.String(), s, back, err)
+		}
+	})
+}
+
+// FuzzParseStrategy is the same contract for scheduling strategy names.
+func FuzzParseStrategy(f *testing.F) {
+	for _, s := range []string{"", "fcfs", "Backfill", " RETRY ", "lifo"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		st, err := ParseStrategy(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseStrategy(st.String())
+		if err != nil || back != st {
+			t.Fatalf("strategy %q does not round-trip: %v, %v", s, back, err)
+		}
+	})
+}

@@ -1,10 +1,11 @@
 // Package plan is the shared allocation core of the TASQ reproduction:
 // one Allocation/Pool/Outcome vocabulary for everything that reasons
 // about token capacity. The Figure-1 provisioning policies
-// (internal/scheduler re-exports them), the FCFS token-capacity cluster
-// simulator, the scopesim executor's free-token ledger, and the
-// PCC-driven cluster planner behind POST /v1/plan all build on the
-// types in this package, so capacity arithmetic exists exactly once.
+// (internal/scheduler re-exports them), the token-capacity cluster
+// simulators (FCFS, backfill bin-packing, first-allocation retry), the
+// scopesim executor's free-token ledger, and the PCC-driven cluster
+// planner behind POST /v1/plan all build on the types in this package,
+// so capacity arithmetic exists exactly once.
 //
 // Every entry point is deterministic: the same inputs produce the same
 // outcomes event for event, which is what lets the planner soak assert
@@ -12,7 +13,6 @@
 package plan
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
@@ -34,20 +34,65 @@ var (
 	// ErrBadCurve rejects planning over an invalid (non-finite or
 	// non-positive) performance characteristic curve.
 	ErrBadCurve = errors.New("plan: invalid performance curve")
+	// ErrBadArrival rejects non-finite (NaN/±Inf) or negative arrival
+	// times.
+	ErrBadArrival = errors.New("plan: bad arrival time")
+	// ErrBadDeadline rejects negative per-job deadlines.
+	ErrBadDeadline = errors.New("plan: bad deadline")
+	// ErrBadQuota rejects non-positive per-tenant token quotas.
+	ErrBadQuota = errors.New("plan: bad tenant quota")
+	// ErrBadStrategy rejects unknown scheduling strategies.
+	ErrBadStrategy = errors.New("plan: unknown scheduling strategy")
 	// ErrStarved reports a job whose request can never be satisfied by
 	// the remaining pool — defense in depth; allocation validation makes
 	// it unreachable through the public entry points.
 	ErrStarved = errors.New("plan: job starved")
 )
 
+// Quota caps the tokens each named tenant may hold concurrently. Tenants
+// absent from the map (including the empty tenant) are bounded only by
+// pool capacity.
+type Quota map[string]int
+
+// Validate rejects non-positive quota entries; quotas above the pool
+// capacity are legal (they simply never bind).
+func (q Quota) Validate() error {
+	tenants := make([]string, 0, len(q))
+	for t := range q {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants) // deterministic error selection
+	for _, t := range tenants {
+		if q[t] < 1 {
+			return fmt.Errorf("%w: tenant %q quota %d", ErrBadQuota, t, q[t])
+		}
+	}
+	return nil
+}
+
 // Allocation is one job's claim on the pool: it requires Tokens
-// guaranteed tokens for DurationSeconds starting when admitted.
+// guaranteed tokens for DurationSeconds starting when admitted. Under
+// StrategyRetry a job whose first slice overran carries a second leg
+// (RetryTokens × RetryDurationSeconds) that re-queues when the first leg
+// fails; both legs' token-seconds are accounted.
 type Allocation struct {
 	ID              string
 	ArrivalSecond   int
 	Tokens          int
 	DurationSeconds int
+	// Tenant attributes the claim to a per-tenant quota ("" = unquoted).
+	Tenant string
+	// DeadlineSecond is the absolute second the job should drain by
+	// (0 = no deadline).
+	DeadlineSecond int
+	// RetryTokens/RetryDurationSeconds describe the peak re-run leg of a
+	// first-allocation overrun (0 = single attempt).
+	RetryTokens          int
+	RetryDurationSeconds int
 }
+
+// retries reports whether the allocation carries a second leg.
+func (a Allocation) retries() bool { return a.RetryTokens > 0 }
 
 // Outcome reports when an allocation ran.
 type Outcome struct {
@@ -55,22 +100,44 @@ type Outcome struct {
 	StartSecond int
 	WaitSeconds int
 	EndSecond   int
+	// RetryStartSecond is when the peak re-run leg started (0 = no
+	// retry); the first leg ran [StartSecond, StartSecond+Duration) and
+	// the retry [RetryStartSecond, EndSecond).
+	RetryStartSecond int
 }
 
 // Pool is a fixed-capacity token ledger — the one piece of accounting
-// the FCFS simulator and the scopesim executor share. It is not
-// goroutine-safe; each simulation owns its pool.
+// every simulator and the scopesim executor share. A pool built with
+// NewPoolQuota additionally caps each tenant's concurrently held
+// tokens. It is not goroutine-safe; each simulation owns its pool.
 type Pool struct {
 	capacity int
 	free     int
+	quota    Quota
+	held     map[string]int
 }
 
-// NewPool returns a ledger with capacity free tokens.
+// NewPool returns a ledger with capacity free tokens and no tenant
+// quotas.
 func NewPool(capacity int) (*Pool, error) {
+	return NewPoolQuota(capacity, nil)
+}
+
+// NewPoolQuota returns a ledger with capacity free tokens whose tenants
+// are additionally bounded by quota.
+func NewPoolQuota(capacity int, quota Quota) (*Pool, error) {
 	if capacity < 1 {
 		return nil, fmt.Errorf("%w: %d", ErrBadCapacity, capacity)
 	}
-	return &Pool{capacity: capacity, free: capacity}, nil
+	if err := quota.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Pool{capacity: capacity, free: capacity}
+	if len(quota) > 0 {
+		p.quota = quota
+		p.held = make(map[string]int, len(quota))
+	}
+	return p, nil
 }
 
 // Capacity returns the pool's total token capacity.
@@ -82,22 +149,68 @@ func (p *Pool) Free() int { return p.free }
 // InUse returns the tokens currently claimed.
 func (p *Pool) InUse() int { return p.capacity - p.free }
 
-// Fits reports whether n tokens could be acquired right now.
+// TenantInUse returns the tokens currently held by one tenant. Claims
+// made through the quota-blind Acquire/AcquireUpTo entry points belong
+// to the empty tenant.
+func (p *Pool) TenantInUse(tenant string) int {
+	if p.held == nil {
+		if tenant == "" {
+			return p.InUse()
+		}
+		return 0
+	}
+	return p.held[tenant]
+}
+
+// QuotaFor returns tenant's concurrent-token cap (pool capacity when
+// unquoted).
+func (p *Pool) QuotaFor(tenant string) int {
+	if q, ok := p.quota[tenant]; ok && q < p.capacity {
+		return q
+	}
+	return p.capacity
+}
+
+// Fits reports whether n tokens could be acquired right now by an
+// unquoted caller.
 func (p *Pool) Fits(n int) bool { return n >= 1 && n <= p.free }
+
+// FitsTenant reports whether tenant could acquire n tokens right now
+// without exceeding either the pool or its quota.
+func (p *Pool) FitsTenant(tenant string, n int) bool {
+	if n < 1 || n > p.free {
+		return false
+	}
+	if q, ok := p.quota[tenant]; ok && p.held[tenant]+n > q {
+		return false
+	}
+	return true
+}
 
 // Acquire claims exactly n tokens or fails without claiming any — the
 // guaranteed-token admission the FCFS simulator models.
-func (p *Pool) Acquire(n int) error {
+func (p *Pool) Acquire(n int) error { return p.AcquireTenant("", n) }
+
+// AcquireTenant is Acquire charged against tenant's quota.
+func (p *Pool) AcquireTenant(tenant string, n int) error {
 	if n < 1 || n > p.free {
 		return fmt.Errorf("%w: acquire %d of %d free", ErrBadAllocation, n, p.free)
 	}
+	if q, ok := p.quota[tenant]; ok && p.held[tenant]+n > q {
+		return fmt.Errorf("%w: tenant %q holding %d of %d acquiring %d",
+			ErrBadAllocation, tenant, p.held[tenant], q, n)
+	}
 	p.free -= n
+	if p.held != nil {
+		p.held[tenant] += n
+	}
 	return nil
 }
 
 // AcquireUpTo claims min(want, free) tokens and returns the grant — the
 // work-conserving partial admission the scopesim executor uses to start
-// as many tasks as the pool allows.
+// as many tasks as the pool allows. The grant is charged to the empty
+// tenant and ignores quotas.
 func (p *Pool) AcquireUpTo(want int) int {
 	if want <= 0 {
 		return 0
@@ -106,16 +219,55 @@ func (p *Pool) AcquireUpTo(want int) int {
 		want = p.free
 	}
 	p.free -= want
+	if p.held != nil {
+		p.held[""] += want
+	}
 	return want
 }
 
 // Release returns n tokens to the pool; releasing more than is
 // outstanding is a ledger bug and fails.
-func (p *Pool) Release(n int) error {
+func (p *Pool) Release(n int) error { return p.ReleaseTenant("", n) }
+
+// ReleaseTenant is Release credited back to tenant's quota.
+func (p *Pool) ReleaseTenant(tenant string, n int) error {
 	if n < 0 || p.free+n > p.capacity {
 		return fmt.Errorf("%w: release %d with %d of %d free", ErrBadAllocation, n, p.free, p.capacity)
 	}
+	if p.held != nil && p.held[tenant]-n < 0 {
+		return fmt.Errorf("%w: tenant %q releasing %d of %d held", ErrBadAllocation, tenant, n, p.held[tenant])
+	}
 	p.free += n
+	if p.held != nil {
+		p.held[tenant] -= n
+	}
+	return nil
+}
+
+// validateAllocs applies the shared feasibility checks every simulator
+// performs before touching the pool: tokens inside [1, capacity] and
+// inside the tenant's quota, non-negative times.
+func validateAllocs(capacity int, quota Quota, allocs []Allocation) error {
+	for _, a := range allocs {
+		if a.Tokens < 1 || a.Tokens > capacity {
+			return fmt.Errorf("%w: job %s requests %d tokens of capacity %d", ErrBadAllocation, a.ID, a.Tokens, capacity)
+		}
+		if q, ok := quota[a.Tenant]; ok && a.Tokens > q {
+			return fmt.Errorf("%w: job %s requests %d tokens of tenant %q quota %d", ErrBadAllocation, a.ID, a.Tokens, a.Tenant, q)
+		}
+		if a.DurationSeconds < 0 || a.ArrivalSecond < 0 {
+			return fmt.Errorf("%w: job %s has negative time", ErrBadAllocation, a.ID)
+		}
+		if a.DeadlineSecond < 0 {
+			return fmt.Errorf("%w: job %s deadline %d", ErrBadDeadline, a.ID, a.DeadlineSecond)
+		}
+		if a.RetryTokens < 0 || a.RetryTokens > capacity || a.RetryDurationSeconds < 0 {
+			return fmt.Errorf("%w: job %s retry leg %d tokens × %ds", ErrBadAllocation, a.ID, a.RetryTokens, a.RetryDurationSeconds)
+		}
+		if q, ok := quota[a.Tenant]; ok && a.RetryTokens > q {
+			return fmt.Errorf("%w: job %s retry leg %d tokens of tenant %q quota %d", ErrBadAllocation, a.ID, a.RetryTokens, a.Tenant, q)
+		}
+	}
 	return nil
 }
 
@@ -123,19 +275,22 @@ func (p *Pool) Release(n int) error {
 // with FCFS admission: a job is admitted when its full token request is
 // free; later arrivals cannot jump the queue (no backfilling), which
 // models SCOPE's guaranteed-token admission. Arrival ties are broken by
-// input order (stable), and outcomes are returned in input order.
+// input order (stable), and outcomes are returned in input order. Retry
+// legs on the allocations are ignored — SimulateRetry honors them.
 func SimulateFCFS(capacity int, allocs []Allocation) ([]Outcome, error) {
-	pool, err := NewPool(capacity)
+	return SimulateFCFSQuota(capacity, nil, allocs)
+}
+
+// SimulateFCFSQuota is SimulateFCFS with per-tenant quotas enforced at
+// admission: the queue head additionally waits until its tenant's
+// concurrently held tokens would stay within quota.
+func SimulateFCFSQuota(capacity int, quota Quota, allocs []Allocation) ([]Outcome, error) {
+	pool, err := NewPoolQuota(capacity, quota)
 	if err != nil {
 		return nil, err
 	}
-	for _, a := range allocs {
-		if a.Tokens < 1 || a.Tokens > capacity {
-			return nil, fmt.Errorf("%w: job %s requests %d tokens of capacity %d", ErrBadAllocation, a.ID, a.Tokens, capacity)
-		}
-		if a.DurationSeconds < 0 || a.ArrivalSecond < 0 {
-			return nil, fmt.Errorf("%w: job %s has negative time", ErrBadAllocation, a.ID)
-		}
+	if err := validateAllocs(capacity, quota, allocs); err != nil {
+		return nil, err
 	}
 	// FCFS by arrival (stable for ties: input order).
 	order := make([]int, len(allocs))
@@ -154,22 +309,23 @@ func SimulateFCFS(capacity int, allocs []Allocation) ([]Outcome, error) {
 		if a.ArrivalSecond > now {
 			now = a.ArrivalSecond
 		}
-		// Advance time until the request fits.
-		for !pool.Fits(a.Tokens) {
-			if releases.Len() == 0 {
+		// Advance time until the request fits both pool and quota.
+		for !pool.FitsTenant(a.Tenant, a.Tokens) {
+			if len(*releases) == 0 {
 				return nil, fmt.Errorf("%w: job %s with %d free tokens", ErrStarved, a.ID, pool.Free())
 			}
-			r := heap.Pop(releases).(release)
+			r := releases.pop()
 			if r.at > now {
 				now = r.at
 			}
-			if err := pool.Release(r.tokens); err != nil {
+			if err := pool.ReleaseTenant(r.tenant, r.tokens); err != nil {
 				return nil, err
 			}
 		}
 		// Drain any releases that already happened by now.
-		for releases.Len() > 0 && (*releases)[0].at <= now {
-			if err := pool.Release(heap.Pop(releases).(release).tokens); err != nil {
+		for len(*releases) > 0 && (*releases)[0].at <= now {
+			r := releases.pop()
+			if err := pool.ReleaseTenant(r.tenant, r.tokens); err != nil {
 				return nil, err
 			}
 		}
@@ -179,10 +335,10 @@ func SimulateFCFS(capacity int, allocs []Allocation) ([]Outcome, error) {
 			WaitSeconds: now - a.ArrivalSecond,
 			EndSecond:   now + a.DurationSeconds,
 		}
-		if err := pool.Acquire(a.Tokens); err != nil {
+		if err := pool.AcquireTenant(a.Tenant, a.Tokens); err != nil {
 			return nil, err
 		}
-		heap.Push(releases, release{at: now + a.DurationSeconds, tokens: a.Tokens})
+		releases.push(release{at: now + a.DurationSeconds, tokens: a.Tokens, tenant: a.Tenant})
 	}
 	return out, nil
 }
@@ -193,9 +349,18 @@ type Stats struct {
 	MaxWaitSeconds    int
 	MakespanSeconds   int
 	TotalTokenSeconds int
+	// Retries counts jobs that overran their first slice and re-ran at
+	// peak; RetryWasteTokenSeconds is the failed first attempts' cost
+	// (already included in TotalTokenSeconds).
+	Retries                int
+	RetryWasteTokenSeconds int
+	// DeadlineViolations counts jobs that drained after their deadline.
+	DeadlineViolations int
 }
 
-// Summarize aggregates outcomes against their allocations.
+// Summarize aggregates outcomes against their allocations. Both legs of
+// a retried allocation count toward TotalTokenSeconds: the failed first
+// slice is provisioned waste, the peak re-run is the recovery.
 func Summarize(allocs []Allocation, outs []Outcome) Stats {
 	var st Stats
 	if len(outs) == 0 {
@@ -211,28 +376,140 @@ func Summarize(allocs []Allocation, outs []Outcome) Stats {
 			st.MakespanSeconds = o.EndSecond
 		}
 		if i < len(allocs) {
-			st.TotalTokenSeconds += allocs[i].Tokens * allocs[i].DurationSeconds
+			a := allocs[i]
+			st.TotalTokenSeconds += a.Tokens * a.DurationSeconds
+			if a.retries() {
+				st.Retries++
+				st.RetryWasteTokenSeconds += a.Tokens * a.DurationSeconds
+				st.TotalTokenSeconds += a.RetryTokens * a.RetryDurationSeconds
+			}
+			if a.DeadlineSecond > 0 && o.EndSecond > a.DeadlineSecond {
+				st.DeadlineViolations++
+			}
 		}
 	}
 	st.MeanWaitSeconds = float64(waitSum) / float64(len(outs))
 	return st
 }
 
+// ValidateSchedule sweeps a simulated schedule's event timeline and
+// verifies it is feasible: every leg starts at or after its arrival,
+// runs for exactly its predicted duration, and at every instant the
+// running legs hold at most the pool capacity in total and at most each
+// tenant's quota individually. This is the property-test oracle for all
+// three strategies — it rebuilds occupancy from first principles rather
+// than trusting the simulator's ledger.
+func ValidateSchedule(capacity int, quota Quota, allocs []Allocation, outs []Outcome) error {
+	if len(allocs) != len(outs) {
+		return fmt.Errorf("%w: %d allocations vs %d outcomes", ErrBadAllocation, len(allocs), len(outs))
+	}
+	type edge struct {
+		at     int
+		delta  int
+		tenant string
+	}
+	var edges []edge
+	for i, a := range allocs {
+		o := outs[i]
+		if o.StartSecond < a.ArrivalSecond {
+			return fmt.Errorf("%w: job %s started %d before arrival %d", ErrBadAllocation, a.ID, o.StartSecond, a.ArrivalSecond)
+		}
+		if o.WaitSeconds < 0 {
+			return fmt.Errorf("%w: job %s waited %d", ErrBadAllocation, a.ID, o.WaitSeconds)
+		}
+		firstEnd := o.StartSecond + a.DurationSeconds
+		if a.retries() {
+			if o.RetryStartSecond < firstEnd {
+				return fmt.Errorf("%w: job %s retried at %d before first leg ended %d", ErrBadAllocation, a.ID, o.RetryStartSecond, firstEnd)
+			}
+			if o.EndSecond != o.RetryStartSecond+a.RetryDurationSeconds {
+				return fmt.Errorf("%w: job %s retry leg ends %d, want %d", ErrBadAllocation, a.ID, o.EndSecond, o.RetryStartSecond+a.RetryDurationSeconds)
+			}
+			edges = append(edges,
+				edge{o.RetryStartSecond, a.RetryTokens, a.Tenant},
+				edge{o.EndSecond, -a.RetryTokens, a.Tenant})
+		} else if o.EndSecond != firstEnd {
+			return fmt.Errorf("%w: job %s ends %d, want start %d + duration %d", ErrBadAllocation, a.ID, o.EndSecond, o.StartSecond, a.DurationSeconds)
+		}
+		edges = append(edges,
+			edge{o.StartSecond, a.Tokens, a.Tenant},
+			edge{firstEnd, -a.Tokens, a.Tenant})
+	}
+	// Sweep: releases before acquires at the same instant (a slot freed
+	// at t is reusable at t, matching the simulators' drain-then-admit).
+	sort.SliceStable(edges, func(i, j int) bool {
+		if edges[i].at != edges[j].at {
+			return edges[i].at < edges[j].at
+		}
+		return edges[i].delta < edges[j].delta
+	})
+	inUse := 0
+	held := map[string]int{}
+	for _, e := range edges {
+		inUse += e.delta
+		held[e.tenant] += e.delta
+		if inUse > capacity {
+			return fmt.Errorf("%w: %d tokens in use at second %d exceeds capacity %d", ErrBadAllocation, inUse, e.at, capacity)
+		}
+		if q, ok := quota[e.tenant]; ok && held[e.tenant] > q {
+			return fmt.Errorf("%w: tenant %q holds %d at second %d exceeding quota %d", ErrBadAllocation, e.tenant, held[e.tenant], e.at, q)
+		}
+		if inUse < 0 || held[e.tenant] < 0 {
+			return fmt.Errorf("%w: negative occupancy at second %d", ErrBadAllocation, e.at)
+		}
+	}
+	if inUse != 0 {
+		return fmt.Errorf("%w: %d tokens still held after the last job drained", ErrBadAllocation, inUse)
+	}
+	return nil
+}
+
 type release struct {
 	at     int
 	tokens int
+	tenant string
 }
 
+// releaseHeap is a min-heap on release.at with direct push/pop — the
+// simulators sit on the plan hot path and container/heap's interface
+// boxing costs one allocation per event.
 type releaseHeap []release
 
-func (h releaseHeap) Len() int           { return len(h) }
-func (h releaseHeap) Less(i, j int) bool { return h[i].at < h[j].at }
-func (h releaseHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *releaseHeap) Push(x any)        { *h = append(*h, x.(release)) }
-func (h *releaseHeap) Pop() any {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
+func (h *releaseHeap) push(r release) {
+	s := append(*h, r)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].at <= s[i].at {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+	*h = s
+}
+
+func (h *releaseHeap) pop() release {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && s[r].at < s[c].at {
+			c = r
+		}
+		if s[i].at <= s[c].at {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	*h = s
+	return top
 }

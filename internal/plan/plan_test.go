@@ -174,7 +174,7 @@ func planSpecs(n int) []JobSpec {
 	for i := range specs {
 		specs[i] = JobSpec{
 			ID:              "job" + string(rune('a'+i%26)),
-			ArrivalSecond:   i,
+			ArrivalSecond:   float64(i),
 			RequestedTokens: 80,
 			PeakTokens:      60,
 			Curve:           planCurve(),
@@ -201,7 +201,7 @@ func TestBuildValidation(t *testing.T) {
 	}
 	neg := planSpecs(1)
 	neg[0].ArrivalSecond = -2
-	if _, err := Build(neg, Config{Capacity: 10, Policy: PolicyOptimal}); !errors.Is(err, ErrBadAllocation) {
+	if _, err := Build(neg, Config{Capacity: 10, Policy: PolicyOptimal}); !errors.Is(err, ErrBadArrival) {
 		t.Fatalf("negative arrival: %v", err)
 	}
 }

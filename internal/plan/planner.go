@@ -16,18 +16,34 @@ import (
 type JobSpec struct {
 	ID string
 	// ArrivalSecond is when the job enters the queue (0 = one batch).
-	ArrivalSecond int
+	// Fractional arrivals floor to their containing second; NaN/±Inf and
+	// negative values are rejected with ErrBadArrival.
+	ArrivalSecond float64
 	// RequestedTokens is the user's token request — the Default policy's
 	// allocation and the cap on the optimal-token search.
 	RequestedTokens int
 	// PeakTokens is the compile-time peak-parallelism estimate (the
 	// widest stage): the Peak and Adaptive Peak policies' request. At
 	// plan time no skyline exists yet, so this stands in for the
-	// observed peak of Figure 1.
+	// observed peak of Figure 1. Under StrategyRetry it is also the
+	// second attempt's allocation.
 	PeakTokens int
 	// Curve is the predicted PCC R = b·Aᵃ driving run-time estimates.
 	Curve pcc.Curve
+	// DeadlineSecond is the absolute simulated second the job should
+	// drain by (0 = no SLA). StrategyBackfill prioritizes deadline
+	// holders and guarantees it never misses a feasible deadline the
+	// FCFS schedule met.
+	DeadlineSecond int
+	// Tenant attributes the job to a per-tenant quota ("" = unquoted).
+	Tenant string
 }
+
+// maxArrivalSecond bounds arrival times (≈35k simulated years). Finite
+// floats beyond it would overflow the int conversion with an
+// implementation-specific result, so they are rejected with
+// ErrBadArrival alongside NaN/±Inf.
+const maxArrivalSecond = 1 << 40
 
 // Config parameterizes one plan.
 type Config struct {
@@ -38,24 +54,41 @@ type Config struct {
 	// Threshold is the §2.1 optimal-allocation termination threshold
 	// (≤ 0 selects the 0.01 default: demand ≥1% improvement per token).
 	Threshold float64
+	// Strategy selects how allocations are scheduled onto the pool
+	// (zero value = StrategyFCFS).
+	Strategy Strategy
+	// Quota caps each tenant's concurrently held tokens; allocations are
+	// additionally clamped into [1, quota] so a quoted tenant's job can
+	// always eventually run.
+	Quota Quota
+	// RetrySeed seeds StrategyRetry's simulated true-demand draws
+	// (RetryDemand); plans are a pure function of specs + config.
+	RetrySeed uint64
 }
 
 // Plan is a feasible assignment of the jobs to the pool: per-job
-// allocations and simulated FCFS outcomes in input order, plus the
-// aggregate queueing statistics. TotalTokenSeconds in Stats is the
-// plan's provisioned cost Σ tokens×duration.
+// allocations and simulated outcomes in input order, plus the aggregate
+// queueing statistics. TotalTokenSeconds in Stats is the plan's
+// provisioned cost Σ tokens×duration (both attempts under
+// StrategyRetry).
 type Plan struct {
 	Policy      PolicyKind
+	Strategy    Strategy
 	Capacity    int
 	Allocations []Allocation
 	Outcomes    []Outcome
 	Stats       Stats
+	// FellBack reports that StrategyBackfill's packed schedule regressed
+	// the FCFS makespan or missed a feasible deadline FCFS met, so the
+	// plan kept the FCFS schedule instead.
+	FellBack bool
 }
 
 // Build allocates every job under cfg.Policy and simulates the batch
-// through the FCFS pool. Allocations are clamped into [1, capacity] so a
-// well-formed request always yields a feasible plan: a job can never hold
-// more tokens than the pool has. Deterministic: same specs + config →
+// through the pool with cfg.Strategy. Allocations are clamped into
+// [1, min(capacity, tenant quota)] so a well-formed request always
+// yields a feasible plan: a job can never hold more tokens than the pool
+// (or its tenant's quota) has. Deterministic: same specs + config →
 // identical plan, event for event.
 func Build(specs []JobSpec, cfg Config) (*Plan, error) {
 	if cfg.Capacity < 1 {
@@ -63,6 +96,12 @@ func Build(specs []JobSpec, cfg Config) (*Plan, error) {
 	}
 	if len(specs) == 0 {
 		return nil, ErrNoJobs
+	}
+	if cfg.Strategy != StrategyFCFS && cfg.Strategy != StrategyBackfill && cfg.Strategy != StrategyRetry {
+		return nil, fmt.Errorf("%w: %d", ErrBadStrategy, int(cfg.Strategy))
+	}
+	if err := cfg.Quota.Validate(); err != nil {
+		return nil, err
 	}
 	threshold := cfg.Threshold
 	if threshold <= 0 {
@@ -74,34 +113,112 @@ func Build(specs []JobSpec, cfg Config) (*Plan, error) {
 		if !sp.Curve.Valid() {
 			return nil, fmt.Errorf("%w: job %s: %v", ErrBadCurve, sp.ID, sp.Curve)
 		}
-		if sp.ArrivalSecond < 0 {
-			return nil, fmt.Errorf("%w: job %s arrives at %d", ErrBadAllocation, sp.ID, sp.ArrivalSecond)
+		if math.IsNaN(sp.ArrivalSecond) || math.IsInf(sp.ArrivalSecond, 0) ||
+			sp.ArrivalSecond < 0 || sp.ArrivalSecond > maxArrivalSecond {
+			return nil, fmt.Errorf("%w: job %s arrives at %v", ErrBadArrival, sp.ID, sp.ArrivalSecond)
 		}
-		tokens, err := tokensFor(sp, cfg.Policy, cfg.Capacity, threshold)
+		if sp.DeadlineSecond < 0 {
+			return nil, fmt.Errorf("%w: job %s deadline %d", ErrBadDeadline, sp.ID, sp.DeadlineSecond)
+		}
+		// A quoted tenant's jobs are clamped into the quota as well as
+		// the pool, mirroring the capacity truncation rule.
+		capFor := cfg.Capacity
+		if q, ok := cfg.Quota[sp.Tenant]; ok && q < capFor {
+			capFor = q
+		}
+		tokens, err := tokensFor(sp, cfg.Policy, capFor, threshold)
 		if err != nil {
 			return nil, err
 		}
 		allocs[i] = Allocation{
 			ID:              sp.ID,
-			ArrivalSecond:   sp.ArrivalSecond,
+			ArrivalSecond:   int(math.Floor(sp.ArrivalSecond)),
 			Tokens:          tokens,
 			DurationSeconds: predictedDuration(sp.Curve, tokens),
+			Tenant:          sp.Tenant,
+			DeadlineSecond:  sp.DeadlineSecond,
+		}
+		if cfg.Strategy == StrategyRetry {
+			// First-allocation sizing: the policy's (sub-peak) slice is
+			// attempt one; a job whose simulated true demand exceeds it
+			// overruns and re-runs at the peak estimate.
+			peak := clamp(sp.PeakTokens, 1, capFor)
+			if need := RetryDemand(cfg.RetrySeed, sp.ID, sp.PeakTokens); need > 0 && clamp(need, 1, capFor) > tokens {
+				allocs[i].RetryTokens = peak
+				allocs[i].RetryDurationSeconds = predictedDuration(sp.Curve, peak)
+			}
 		}
 	}
-	outs, err := SimulateFCFS(cfg.Capacity, allocs)
+
+	p := &Plan{
+		Policy:      cfg.Policy,
+		Strategy:    cfg.Strategy,
+		Capacity:    cfg.Capacity,
+		Allocations: allocs,
+	}
+	var outs []Outcome
+	var err error
+	switch cfg.Strategy {
+	case StrategyBackfill:
+		outs, err = buildBackfill(cfg, allocs, p)
+	case StrategyRetry:
+		outs, err = SimulateRetry(cfg.Capacity, cfg.Quota, allocs)
+	default:
+		outs, err = SimulateFCFSQuota(cfg.Capacity, cfg.Quota, allocs)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{
-		Policy:      cfg.Policy,
-		Capacity:    cfg.Capacity,
-		Allocations: allocs,
-		Outcomes:    outs,
-		Stats:       Summarize(allocs, outs),
-	}, nil
+	p.Outcomes = outs
+	p.Stats = Summarize(allocs, outs)
+	return p, nil
 }
 
-// tokensFor applies one policy strategy to one job.
+// buildBackfill simulates both the packed and the FCFS schedules and
+// keeps the packed one only when it is not worse: no longer makespan,
+// and no feasible deadline (one the FCFS schedule met) missed. The
+// provisioned cost is identical either way — allocations don't change —
+// so packed cost ≤ FCFS cost holds by construction, and this guard makes
+// packed makespan ≤ FCFS makespan and the no-deadline-regression rule
+// hold by construction too.
+func buildBackfill(cfg Config, allocs []Allocation, p *Plan) ([]Outcome, error) {
+	fcfs, err := SimulateFCFSQuota(cfg.Capacity, cfg.Quota, allocs)
+	if err != nil {
+		return nil, err
+	}
+	packed, err := SimulateBackfill(cfg.Capacity, cfg.Quota, allocs)
+	if err != nil {
+		return nil, err
+	}
+	if backfillRegressed(allocs, fcfs, packed) {
+		p.FellBack = true
+		return fcfs, nil
+	}
+	return packed, nil
+}
+
+// backfillRegressed reports whether the packed schedule is worse than
+// FCFS on either guarantee: a feasible deadline missed or a longer
+// makespan.
+func backfillRegressed(allocs []Allocation, fcfs, packed []Outcome) bool {
+	makespanF, makespanP := 0, 0
+	for i, a := range allocs {
+		if a.DeadlineSecond > 0 && fcfs[i].EndSecond <= a.DeadlineSecond && packed[i].EndSecond > a.DeadlineSecond {
+			return true
+		}
+		if fcfs[i].EndSecond > makespanF {
+			makespanF = fcfs[i].EndSecond
+		}
+		if packed[i].EndSecond > makespanP {
+			makespanP = packed[i].EndSecond
+		}
+	}
+	return makespanP > makespanF
+}
+
+// tokensFor applies one policy strategy to one job. capacity here is the
+// job's effective cap: pool capacity, further narrowed by its tenant's
+// quota.
 func tokensFor(sp *JobSpec, policy PolicyKind, capacity int, threshold float64) (int, error) {
 	requested := clamp(sp.RequestedTokens, 1, capacity)
 	switch policy {

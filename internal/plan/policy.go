@@ -35,7 +35,9 @@ func (p PolicyKind) String() string {
 // ParsePolicyKind reads a wire/CLI policy name ("default", "peak",
 // "adaptive-peak", "optimal"; case-, space- and punctuation-insensitive,
 // with or without an "allocation" suffix). The empty string selects
-// PolicyOptimal — the planner exists to serve TASQ's allocation.
+// PolicyOptimal — the planner exists to serve TASQ's allocation. A bare
+// "allocation" (no policy word) is rejected: only a genuinely empty
+// input may default.
 func ParsePolicyKind(s string) (PolicyKind, error) {
 	key := strings.Map(func(r rune) rune {
 		switch {
@@ -47,7 +49,13 @@ func ParsePolicyKind(s string) (PolicyKind, error) {
 			return -1
 		}
 	}, s)
-	key = strings.TrimSuffix(key, "allocation")
+	trimmed := strings.TrimSuffix(key, "allocation")
+	if trimmed == "" && key != "" {
+		// "allocation", "ALLOCATION!", … — a suffix with no policy word
+		// used to parse as the default policy; reject it loudly.
+		return 0, fmt.Errorf("%w: %q (want default, peak, adaptive-peak or optimal)", ErrBadPolicy, s)
+	}
+	key = trimmed
 	switch key {
 	case "", "optimal":
 		return PolicyOptimal, nil

@@ -1,0 +1,165 @@
+package plan
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestPoolQuotaLedger(t *testing.T) {
+	if _, err := NewPoolQuota(10, Quota{"acme": 0}); !errors.Is(err, ErrBadQuota) {
+		t.Fatalf("zero quota: %v", err)
+	}
+	p, err := NewPoolQuota(10, Quota{"acme": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.QuotaFor("acme"); got != 4 {
+		t.Fatalf("acme quota %d, want 4", got)
+	}
+	if got := p.QuotaFor("other"); got != 10 {
+		t.Fatalf("unquoted tenant quota %d, want pool capacity", got)
+	}
+	if err := p.AcquireTenant("acme", 4); err != nil {
+		t.Fatal(err)
+	}
+	if p.FitsTenant("acme", 1) {
+		t.Fatal("tenant at quota still fits")
+	}
+	if err := p.AcquireTenant("acme", 1); !errors.Is(err, ErrBadAllocation) {
+		t.Fatalf("over-quota acquire: %v", err)
+	}
+	if !p.FitsTenant("other", 6) || p.FitsTenant("other", 7) {
+		t.Fatal("other tenant bounded by pool free, not acme's quota")
+	}
+	if err := p.ReleaseTenant("other", 1); !errors.Is(err, ErrBadAllocation) {
+		t.Fatalf("releasing tokens a tenant never held: %v", err)
+	}
+	if err := p.ReleaseTenant("acme", 4); err != nil {
+		t.Fatal(err)
+	}
+	if p.Free() != 10 || p.TenantInUse("acme") != 0 {
+		t.Fatalf("after full release: free=%d acme=%d", p.Free(), p.TenantInUse("acme"))
+	}
+}
+
+// TestPoolPropertyRandomInterleavings drives quoted and unquoted pools
+// through seeded random op sequences and checks the ledger invariants
+// after every step: occupancy never exceeds capacity, no tenant exceeds
+// its quota, the free/held books always balance, and AcquireUpTo's grant
+// is always in [0, want] and never over-claims.
+func TestPoolPropertyRandomInterleavings(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := 1 + rng.Intn(200)
+		tenants := []string{"", "a", "b", "c"}
+		quota := Quota{}
+		for _, tn := range tenants[1:] {
+			if rng.Intn(2) == 0 {
+				quota[tn] = 1 + rng.Intn(capacity)
+			}
+		}
+		if len(quota) == 0 {
+			quota = nil
+		}
+		pool, err := NewPoolQuota(capacity, quota)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The oracle's own books. An unquoted pool keeps no per-tenant
+		// ledger — every claim belongs to the empty tenant — so the
+		// oracle collapses keys the same way.
+		held := map[string]int{}
+		key := func(tn string) string {
+			if quota == nil {
+				return ""
+			}
+			return tn
+		}
+		outstanding := 0
+		check := func(op string) {
+			t.Helper()
+			if pool.Free() < 0 || pool.Free() > capacity {
+				t.Fatalf("seed %d after %s: free %d outside [0,%d]", seed, op, pool.Free(), capacity)
+			}
+			if pool.InUse() != outstanding || pool.Free()+pool.InUse() != capacity {
+				t.Fatalf("seed %d after %s: books don't balance: free %d + inuse %d vs capacity %d (oracle %d)",
+					seed, op, pool.Free(), pool.InUse(), capacity, outstanding)
+			}
+			sum := 0
+			for _, tn := range tenants {
+				got := pool.TenantInUse(tn)
+				sum += got
+				if got != held[key(tn)] && quota != nil {
+					t.Fatalf("seed %d after %s: tenant %q holds %d, oracle says %d", seed, op, tn, got, held[tn])
+				}
+				if q, ok := quota[tn]; ok && got > q {
+					t.Fatalf("seed %d after %s: tenant %q over quota: %d > %d", seed, op, tn, got, q)
+				}
+			}
+			if sum != outstanding {
+				t.Fatalf("seed %d after %s: Σ tenant holdings %d != in-use %d", seed, op, sum, outstanding)
+			}
+		}
+		for step := 0; step < 400; step++ {
+			tn := tenants[rng.Intn(len(tenants))]
+			switch rng.Intn(3) {
+			case 0: // all-or-nothing acquire
+				n := rng.Intn(capacity+2) - 1 // includes 0 and negative probes
+				if err := pool.AcquireTenant(tn, n); err == nil {
+					if n < 1 {
+						t.Fatalf("seed %d: acquired non-positive %d", seed, n)
+					}
+					held[key(tn)] += n
+					outstanding += n
+				}
+				check("acquire")
+			case 1: // work-conserving partial acquire (empty tenant only)
+				want := rng.Intn(capacity+2) - 1
+				free := pool.Free()
+				got := pool.AcquireUpTo(want)
+				if got < 0 {
+					t.Fatalf("seed %d: AcquireUpTo returned negative %d", seed, got)
+				}
+				if want > 0 && free > 0 && got < 1 {
+					t.Fatalf("seed %d: AcquireUpTo(%d) granted nothing with %d free", seed, want, free)
+				}
+				if got > 0 && (got > want || got > free) {
+					t.Fatalf("seed %d: AcquireUpTo(%d) over-granted %d of %d free", seed, want, got, free)
+				}
+				held[""] += got
+				outstanding += got
+				check("acquire-up-to")
+			default: // release part of what the tenant holds (plus over-release probes)
+				k := key(tn)
+				n := rng.Intn(held[k] + 2)
+				err := pool.ReleaseTenant(tn, n)
+				if n > held[k] && quota != nil && err == nil {
+					// A quoted pool tracks per-tenant books and must refuse.
+					t.Fatalf("seed %d: tenant %q released %d of %d held", seed, tn, n, held[k])
+				}
+				if err == nil {
+					held[k] -= n
+					outstanding -= n
+					if held[k] < 0 {
+						t.Fatalf("seed %d: tenant %q driven negative: %d", seed, tn, held[k])
+					}
+				}
+				check("release")
+			}
+		}
+		// Drain everything: the ledger must return to a full pool.
+		for _, tn := range tenants {
+			if held[tn] > 0 {
+				if err := pool.ReleaseTenant(tn, held[tn]); err != nil {
+					t.Fatalf("seed %d: draining %q: %v", seed, tn, err)
+				}
+				outstanding -= held[tn]
+				held[tn] = 0
+			}
+		}
+		if pool.Free() != capacity || pool.InUse() != 0 {
+			t.Fatalf("seed %d: drained pool free %d / inuse %d, want %d / 0", seed, pool.Free(), pool.InUse(), capacity)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package plan
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tasq/internal/pcc"
+)
+
+// propSpecs draws one random-but-seeded batch: varied curves, bursty
+// arrivals, three tenants (one unquoted), and deadlines on a slice of
+// the jobs.
+func propSpecs(rng *rand.Rand, n int) []JobSpec {
+	specs := make([]JobSpec, n)
+	arrival := 0.0
+	ids := []byte("abcdefghijklmnopqrstuvwxyz")
+	for i := range specs {
+		specs[i] = JobSpec{
+			ID:              "job-" + string(ids[rng.Intn(len(ids))]) + string(ids[i%len(ids)]),
+			ArrivalSecond:   arrival,
+			RequestedTokens: 1 + rng.Intn(160),
+			PeakTokens:      1 + rng.Intn(120),
+			Curve:           pcc.Curve{A: -0.1 - 0.7*rng.Float64(), B: 20 + rng.Float64()*400},
+			Tenant:          []string{"", "acme", "globex"}[rng.Intn(3)],
+		}
+		if rng.Intn(4) == 0 {
+			specs[i].DeadlineSecond = int(arrival) + 50 + rng.Intn(2000)
+		}
+		arrival += rng.Float64() * 3
+	}
+	return specs
+}
+
+// TestStrategyProperties is the differential property suite over seeded
+// random batches: for every seed it builds the same batch under FCFS,
+// backfill and retry and checks
+//
+//   - backfill cost ≤ FCFS cost and backfill makespan ≤ FCFS makespan,
+//   - no feasible deadline (one FCFS met) is missed by backfill,
+//   - every strategy's schedule survives the ValidateSchedule event
+//     sweep (capacity and tenant quotas at every instant),
+//   - retry's two-attempt accounting matches the closed form,
+//   - plans are deterministic: rebuilding yields identical plans.
+func TestStrategyProperties(t *testing.T) {
+	seeds := 30
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(120)
+		specs := propSpecs(rng, n)
+		capacity := 80 + rng.Intn(240)
+		quota := Quota{"acme": 1 + rng.Intn(capacity), "globex": 1 + rng.Intn(capacity)}
+		base := Config{Capacity: capacity, Policy: PolicyOptimal, Quota: quota, RetrySeed: uint64(seed)}
+
+		plans := map[Strategy]*Plan{}
+		for _, s := range []Strategy{StrategyFCFS, StrategyBackfill, StrategyRetry} {
+			cfg := base
+			cfg.Strategy = s
+			p, err := Build(specs, cfg)
+			if err != nil {
+				t.Fatalf("seed %d strategy %v: %v", seed, s, err)
+			}
+			if err := ValidateSchedule(capacity, quota, p.Allocations, p.Outcomes); err != nil {
+				t.Fatalf("seed %d strategy %v: infeasible schedule: %v", seed, s, err)
+			}
+			again, err := Build(specs, cfg)
+			if err != nil || !reflect.DeepEqual(p, again) {
+				t.Fatalf("seed %d strategy %v: rebuild diverged (%v)", seed, s, err)
+			}
+			plans[s] = p
+		}
+		fcfs, packed, retry := plans[StrategyFCFS], plans[StrategyBackfill], plans[StrategyRetry]
+
+		// Backfill never costs more and never stretches the makespan.
+		if packed.Stats.TotalTokenSeconds > fcfs.Stats.TotalTokenSeconds {
+			t.Fatalf("seed %d: backfill cost %d > FCFS %d", seed,
+				packed.Stats.TotalTokenSeconds, fcfs.Stats.TotalTokenSeconds)
+		}
+		if packed.Stats.MakespanSeconds > fcfs.Stats.MakespanSeconds {
+			t.Fatalf("seed %d: backfill makespan %d > FCFS %d (fellback=%v)", seed,
+				packed.Stats.MakespanSeconds, fcfs.Stats.MakespanSeconds, packed.FellBack)
+		}
+		// No feasible-deadline regression, job by job.
+		for i, a := range fcfs.Allocations {
+			if a.DeadlineSecond > 0 && fcfs.Outcomes[i].EndSecond <= a.DeadlineSecond &&
+				packed.Outcomes[i].EndSecond > a.DeadlineSecond {
+				t.Fatalf("seed %d: job %s met deadline %d under FCFS (end %d) but backfill ends %d",
+					seed, a.ID, a.DeadlineSecond, fcfs.Outcomes[i].EndSecond, packed.Outcomes[i].EndSecond)
+			}
+		}
+		if packed.Stats.DeadlineViolations > fcfs.Stats.DeadlineViolations {
+			t.Fatalf("seed %d: backfill violates %d deadlines vs FCFS %d", seed,
+				packed.Stats.DeadlineViolations, fcfs.Stats.DeadlineViolations)
+		}
+
+		// Retry accounting matches the closed two-attempt form, and the
+		// retry decision matches the demand rule exactly.
+		total, waste, retries := 0, 0, 0
+		for i, a := range retry.Allocations {
+			total += a.Tokens * a.DurationSeconds
+			sp := specs[i]
+			capFor := capacity
+			if q, ok := quota[sp.Tenant]; ok && q < capFor {
+				capFor = q
+			}
+			need := RetryDemand(base.RetrySeed, sp.ID, sp.PeakTokens)
+			if wantRetry := need > 0 && clamp(need, 1, capFor) > a.Tokens; a.retries() != wantRetry {
+				t.Fatalf("seed %d: job %s retries=%v, demand rule says %v", seed, a.ID, a.retries(), wantRetry)
+			}
+			if a.retries() {
+				retries++
+				waste += a.Tokens * a.DurationSeconds
+				total += a.RetryTokens * a.RetryDurationSeconds
+			}
+		}
+		if retry.Stats.TotalTokenSeconds != total ||
+			retry.Stats.RetryWasteTokenSeconds != waste ||
+			retry.Stats.Retries != retries {
+			t.Fatalf("seed %d: retry stats (%d cost, %d waste, %d retries) != closed form (%d, %d, %d)",
+				seed, retry.Stats.TotalTokenSeconds, retry.Stats.RetryWasteTokenSeconds, retry.Stats.Retries,
+				total, waste, retries)
+		}
+		// Retry cost decomposes as the FCFS first slices plus the waste's
+		// recovery legs: identical allocations, so the delta is exactly
+		// the peak re-runs.
+		if retry.Stats.TotalTokenSeconds < fcfs.Stats.TotalTokenSeconds {
+			t.Fatalf("seed %d: retry cost %d below its own first slices %d", seed,
+				retry.Stats.TotalTokenSeconds, fcfs.Stats.TotalTokenSeconds)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"tasq/internal/scopesim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the /v1/plan wire-format golden fixtures")
+
+// goldenPlanRequest exercises every request field: policy, strategy,
+// threshold, fractional arrivals, deadlines, tenants and quotas.
+func goldenPlanRequest() *PlanRequest {
+	return &PlanRequest{
+		Jobs:            []*scopesim.Job{planJob("alpha"), planJob("beta"), planJob("gamma")},
+		CapacityTokens:  120,
+		Policy:          "optimal",
+		Strategy:        "retry",
+		Threshold:       0.01,
+		ArrivalSeconds:  []float64{0, 1.5, 40},
+		DeadlineSeconds: []int{0, 500, 0},
+		Tenants:         []string{"acme", "acme", "globex"},
+		Quotas:          map[string]int{"acme": 100, "globex": 80},
+	}
+}
+
+// TestPlanWireFormatGolden pins the POST /v1/plan wire format on both
+// sides: the marshaled request and the byte-exact served response are
+// compared against fixtures in testdata/. Run with -update to rewrite
+// them after an intentional wire change — any unreviewed drift in field
+// names, omitempty behavior or value encoding fails here.
+func TestPlanWireFormatGolden(t *testing.T) {
+	srv, ts := fakeServer(t, &fakeScorer{curve: planCurve})
+	reqPath := filepath.Join("testdata", "plan_request.golden.json")
+	respPath := filepath.Join("testdata", "plan_response.golden.json")
+
+	reqBody, err := json.MarshalIndent(goldenPlanRequest(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqBody = append(reqBody, '\n')
+	if *updateGolden {
+		if err := os.WriteFile(reqPath, reqBody, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantReq, err := os.ReadFile(reqPath)
+	if err != nil {
+		t.Fatalf("read request golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(reqBody, wantReq) {
+		t.Fatalf("request wire format drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", reqPath, reqBody, wantReq)
+	}
+
+	// The golden request bytes — not the re-marshaled struct — travel the
+	// wire, so the fixture also proves the decode side accepts them.
+	httpResp, err := http.Post(ts.URL+"/v1/plan", "application/json", bytes.NewReader(wantReq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotResp, err := io.ReadAll(httpResp.Body)
+	httpResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", httpResp.StatusCode, gotResp)
+	}
+	if *updateGolden {
+		if err := os.WriteFile(respPath, gotResp, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantResp, err := os.ReadFile(respPath)
+	if err != nil {
+		t.Fatalf("read response golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(gotResp, wantResp) {
+		t.Fatalf("response wire format drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", respPath, gotResp, wantResp)
+	}
+
+	// Round trip: the golden response decodes into exactly the in-process
+	// plan, so the client sees what PlanLocal computes.
+	var decoded PlanResponse
+	if err := json.Unmarshal(wantResp, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	local, err := srv.PlanLocal(goldenPlanRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&decoded, local) {
+		t.Fatalf("decoded golden response %+v\n!= PlanLocal %+v", &decoded, local)
+	}
+}

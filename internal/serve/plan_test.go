@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"tasq/internal/pcc"
+	"tasq/internal/plan"
 	"tasq/internal/scopesim"
 )
 
@@ -148,7 +149,7 @@ func TestPlanArrivals(t *testing.T) {
 	spaced, err := srv.PlanLocal(&PlanRequest{
 		Jobs:           []*scopesim.Job{planJob("a"), planJob("b")},
 		CapacityTokens: planOptTokens,
-		ArrivalSeconds: []int{0, 1000},
+		ArrivalSeconds: []float64{0, 1000},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -178,9 +179,19 @@ func TestPlanErrorStatusContract(t *testing.T) {
 		{"unknown policy", ok, nil, PlanRequest{Jobs: one, CapacityTokens: 100, Policy: "lifo"}, 400},
 		{"negative threshold", ok, nil, PlanRequest{Jobs: one, CapacityTokens: 100, Threshold: -0.1}, 400},
 		{"arrival mismatch", ok, nil,
-			PlanRequest{Jobs: one, CapacityTokens: 100, ArrivalSeconds: []int{0, 5}}, 400},
+			PlanRequest{Jobs: one, CapacityTokens: 100, ArrivalSeconds: []float64{0, 5}}, 400},
 		{"negative arrival", ok, nil,
-			PlanRequest{Jobs: one, CapacityTokens: 100, ArrivalSeconds: []int{-3}}, 400},
+			PlanRequest{Jobs: one, CapacityTokens: 100, ArrivalSeconds: []float64{-3}}, 400},
+		{"unknown strategy", ok, nil,
+			PlanRequest{Jobs: one, CapacityTokens: 100, Strategy: "lifo"}, 400},
+		{"deadline mismatch", ok, nil,
+			PlanRequest{Jobs: one, CapacityTokens: 100, DeadlineSeconds: []int{1, 2}}, 400},
+		{"negative deadline", ok, nil,
+			PlanRequest{Jobs: one, CapacityTokens: 100, DeadlineSeconds: []int{-4}}, 400},
+		{"tenant mismatch", ok, nil,
+			PlanRequest{Jobs: one, CapacityTokens: 100, Tenants: []string{"a", "b"}}, 400},
+		{"non-positive quota", ok, nil,
+			PlanRequest{Jobs: one, CapacityTokens: 100, Quotas: map[string]int{"acme": 0}}, 400},
 		{"null job", ok, nil, PlanRequest{Jobs: []*scopesim.Job{nil}, CapacityTokens: 100}, 400},
 		{"invalid job", ok, nil, PlanRequest{
 			Jobs:           []*scopesim.Job{{ID: "bad", Stages: []scopesim.Stage{{ID: 0, Tasks: 0, TaskSeconds: 1}}}},
@@ -308,17 +319,27 @@ func TestPlanMetrics(t *testing.T) {
 	if _, err := client.Plan(&PlanRequest{CapacityTokens: 0}); err == nil {
 		t.Fatal("bad plan accepted")
 	}
+	if _, err := client.Plan(&PlanRequest{
+		Jobs:           []*scopesim.Job{planJob("d")},
+		CapacityTokens: 400,
+		Strategy:       "lifo",
+	}); err == nil {
+		t.Fatal("bad strategy accepted")
+	}
 
 	metrics, err := client.Metrics()
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{
-		`tasq_plan_requests_total{outcome="ok"} 1`,
-		`tasq_plan_requests_total{outcome="rejected"} 1`,
-		`tasq_plan_requests_total{outcome="failed"} 0`,
-		`tasq_plan_jobs_total 3`,
-		fmt.Sprintf(`tasq_plan_saved_token_seconds_total %d`, 3*(planPeakCost-planOptCost)),
+		`tasq_plan_requests_total{outcome="ok",strategy="fcfs"} 1`,
+		`tasq_plan_requests_total{outcome="rejected",strategy="fcfs"} 1`,
+		`tasq_plan_requests_total{outcome="rejected",strategy="invalid"} 1`,
+		`tasq_plan_requests_total{outcome="failed",strategy="fcfs"} 0`,
+		`tasq_plan_requests_total{outcome="ok",strategy="backfill"} 0`,
+		`tasq_plan_jobs_total{strategy="fcfs"} 3`,
+		fmt.Sprintf(`tasq_plan_saved_token_seconds_total{strategy="fcfs"} %d`, 3*(planPeakCost-planOptCost)),
+		`tasq_plan_retry_waste_token_seconds_total{strategy="retry"} 0`,
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, metrics)
@@ -326,5 +347,92 @@ func TestPlanMetrics(t *testing.T) {
 	}
 	if !strings.Contains(metrics, `tasq_plan_makespan_seconds_count 1`) {
 		t.Fatalf("makespan histogram not observed:\n%s", metrics)
+	}
+}
+
+// TestPlanStrategiesEndToEnd routes each scheduling strategy through the
+// real endpoint: the strategy is echoed, NaN arrivals are rejected at
+// the local entry point, backfill never loses to FCFS on the same batch,
+// and retry reports its two-attempt accounting on the wire.
+func TestPlanStrategiesEndToEnd(t *testing.T) {
+	srv, ts := fakeServer(t, &fakeScorer{curve: planCurve})
+	client := NewClient(ts.URL)
+
+	req := &PlanRequest{
+		CapacityTokens: 120,
+		// One running job leaves a gap the later small arrivals backfill
+		// while a full-width job blocks the FCFS queue head.
+		Jobs:           []*scopesim.Job{planJob("w1"), planJob("w2"), planJob("w3"), planJob("w4")},
+		ArrivalSeconds: []float64{0, 1, 2, 3},
+		Tenants:        []string{"acme", "acme", "globex", "globex"},
+		Quotas:         map[string]int{"acme": 60, "globex": 100},
+	}
+
+	fcfs, err := client.Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fcfs.Strategy != "fcfs" {
+		t.Fatalf("default strategy %q, want fcfs", fcfs.Strategy)
+	}
+
+	req.Strategy = "backfill"
+	packed, err := client.Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packed.Strategy != "backfill" {
+		t.Fatalf("strategy echoed as %q", packed.Strategy)
+	}
+	if packed.TotalTokenSeconds > fcfs.TotalTokenSeconds {
+		t.Fatalf("backfill cost %d > FCFS %d", packed.TotalTokenSeconds, fcfs.TotalTokenSeconds)
+	}
+	if packed.MakespanSeconds > fcfs.MakespanSeconds {
+		t.Fatalf("backfill makespan %d > FCFS %d", packed.MakespanSeconds, fcfs.MakespanSeconds)
+	}
+
+	req.Strategy = "retry"
+	retry, err := client.Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retry.Strategy != "retry" {
+		t.Fatalf("strategy echoed as %q", retry.Strategy)
+	}
+	waste, retries := 0, 0
+	for _, j := range retry.Jobs {
+		switch j.Attempts {
+		case 1:
+			if j.RetryTokens != 0 || j.RetryStartSecond != 0 {
+				t.Fatalf("single-attempt job %s carries retry fields: %+v", j.ID, j)
+			}
+		case 2:
+			retries++
+			waste += j.Tokens * j.PredictedRuntimeSeconds
+			if j.RetryTokens <= j.Tokens {
+				t.Fatalf("job %s retry leg %d not wider than first slice %d", j.ID, j.RetryTokens, j.Tokens)
+			}
+		default:
+			t.Fatalf("job %s attempts %d", j.ID, j.Attempts)
+		}
+	}
+	if retry.Retries != retries || retry.RetryWasteTokenSeconds != waste {
+		t.Fatalf("retry accounting (%d, %d) != per-job sums (%d, %d)",
+			retry.Retries, retry.RetryWasteTokenSeconds, retries, waste)
+	}
+	if retry.Retries == 0 {
+		t.Fatal("fixture never overran: the retry wire fields went untested")
+	}
+
+	// NaN/±Inf arrivals cannot travel JSON, so the guard is pinned at the
+	// local entry point embedders call directly.
+	req.Strategy = ""
+	req.ArrivalSeconds = []float64{0, 1, math.NaN(), 3}
+	if _, err := srv.PlanLocal(req); !errors.Is(err, plan.ErrBadArrival) {
+		t.Fatalf("NaN arrival: %v, want ErrBadArrival", err)
+	}
+	req.ArrivalSeconds = []float64{0, 1, 2, math.Inf(-1)}
+	if _, err := srv.PlanLocal(req); !errors.Is(err, plan.ErrBadArrival) {
+		t.Fatalf("-Inf arrival: %v, want ErrBadArrival", err)
 	}
 }

@@ -168,7 +168,9 @@ func httpStatus(err error) int {
 	// outside the pool, unknown policies, degenerate curves.
 	if errors.Is(err, plan.ErrBadCapacity) || errors.Is(err, plan.ErrNoJobs) ||
 		errors.Is(err, plan.ErrBadAllocation) || errors.Is(err, plan.ErrBadPolicy) ||
-		errors.Is(err, plan.ErrBadCurve) {
+		errors.Is(err, plan.ErrBadCurve) || errors.Is(err, plan.ErrBadArrival) ||
+		errors.Is(err, plan.ErrBadDeadline) || errors.Is(err, plan.ErrBadQuota) ||
+		errors.Is(err, plan.ErrBadStrategy) {
 		return http.StatusBadRequest
 	}
 	if errors.Is(err, model.ErrUntrained) || errors.Is(err, model.ErrUncovered) {
@@ -305,11 +307,7 @@ type Server struct {
 
 	// maxPlanJobs caps the jobs accepted per /v1/plan request.
 	maxPlanJobs  int
-	planOK       *obs.Counter
-	planRejected *obs.Counter
-	planFailed   *obs.Counter
-	planJobs     *obs.Counter
-	planSaved    *obs.Counter
+	planMet      map[string]*planStrategyMetrics
 	planMakespan *obs.Histogram
 	planWait     *obs.Histogram
 

@@ -79,9 +79,15 @@ type (
 	// PlanJobSpec is one job's planning input: identity, arrival, the
 	// requested and peak token counts, and its predicted PCC.
 	PlanJobSpec = plan.JobSpec
-	// PlanConfig selects the pool capacity, policy and threshold for
-	// BuildPlan.
+	// PlanConfig selects the pool capacity, policy, threshold, scheduling
+	// strategy and tenant quotas for BuildPlan.
 	PlanConfig = plan.Config
+	// PlanStrategy selects how BuildPlan schedules allocated jobs onto
+	// the pool: FCFS, deadline-aware backfill, or first-allocation retry.
+	PlanStrategy = plan.Strategy
+	// TenantQuota caps each tenant's concurrently held tokens inside a
+	// shared pool (PlanConfig.Quota).
+	TenantQuota = plan.Quota
 	// ClusterPlan is a built plan: per-job allocations, the simulated
 	// FCFS schedule, and aggregate queueing statistics.
 	ClusterPlan = plan.Plan
@@ -235,8 +241,27 @@ const (
 	OptimalAllocation      = plan.PolicyOptimal
 )
 
+// Scheduling strategies, usable in PlanConfig.Strategy.
+const (
+	// FCFSStrategy admits jobs strictly in arrival order.
+	FCFSStrategy = plan.StrategyFCFS
+	// BackfillStrategy packs later jobs into pool gaps, deadline-first,
+	// falling back to FCFS whenever packing would regress a feasible
+	// deadline or the makespan.
+	BackfillStrategy = plan.StrategyBackfill
+	// RetryStrategy grants a sub-peak first slice and re-runs simulated
+	// overruns at peak, accounting both attempts.
+	RetryStrategy = plan.StrategyRetry
+)
+
 // NewTokenPool returns a token ledger of the given capacity.
 func NewTokenPool(capacity int) (*TokenPool, error) { return plan.NewPool(capacity) }
+
+// NewQuotaTokenPool returns a token ledger of the given capacity with
+// per-tenant concurrent-hold caps.
+func NewQuotaTokenPool(capacity int, quota TenantQuota) (*TokenPool, error) {
+	return plan.NewPoolQuota(capacity, quota)
+}
 
 // BuildPlan allocates a batch of jobs against a shared token pool and
 // simulates the resulting FCFS schedule — the in-process form of the
@@ -249,6 +274,11 @@ func BuildPlan(specs []PlanJobSpec, cfg PlanConfig) (*ClusterPlan, error) {
 // "adaptive-peak", "optimal", or a Figure-1 display name); the empty
 // string selects OptimalAllocation.
 func ParseAllocationPolicy(s string) (AllocationPolicy, error) { return plan.ParsePolicyKind(s) }
+
+// ParsePlanStrategy parses a scheduling-strategy name ("fcfs",
+// "backfill" or "retry", case- and whitespace-insensitive); the empty
+// string selects FCFSStrategy.
+func ParsePlanStrategy(s string) (PlanStrategy, error) { return plan.ParseStrategy(s) }
 
 // ParsePredictorPolicy parses a comma-separated fallback chain such as
 // "GNN,NN" (names are case- and punctuation-insensitive); the empty

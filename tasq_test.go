@@ -104,3 +104,63 @@ func maxInt(a, b int) int {
 	}
 	return b
 }
+
+// TestPublicAPIPlanning exercises the cluster-planner façade: strategy
+// parsing, quota-capped pools, and BuildPlan across all three
+// scheduling strategies.
+func TestPublicAPIPlanning(t *testing.T) {
+	for name, want := range map[string]tasq.PlanStrategy{
+		"":         tasq.FCFSStrategy,
+		"Backfill": tasq.BackfillStrategy,
+		" RETRY ":  tasq.RetryStrategy,
+	} {
+		got, err := tasq.ParsePlanStrategy(name)
+		if err != nil || got != want {
+			t.Fatalf("ParsePlanStrategy(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := tasq.ParsePlanStrategy("lifo"); err == nil {
+		t.Fatal("ParsePlanStrategy accepted lifo")
+	}
+
+	quota := tasq.TenantQuota{"acme": 60}
+	if _, err := tasq.NewQuotaTokenPool(100, quota); err != nil {
+		t.Fatal(err)
+	}
+
+	specs := []tasq.PlanJobSpec{
+		{ID: "j1", ArrivalSecond: 0, RequestedTokens: 80, PeakTokens: 120,
+			Curve: tasq.PCC{A: -0.5, B: 400}, Tenant: "acme"},
+		{ID: "j2", ArrivalSecond: 2, RequestedTokens: 50, PeakTokens: 90,
+			Curve: tasq.PCC{A: -0.4, B: 300}, Tenant: "acme", DeadlineSecond: 4000},
+	}
+	var fcfsCost int
+	for _, s := range []tasq.PlanStrategy{tasq.FCFSStrategy, tasq.BackfillStrategy, tasq.RetryStrategy} {
+		p, err := tasq.BuildPlan(specs, tasq.PlanConfig{
+			Capacity: 100, Policy: tasq.OptimalAllocation, Strategy: s, Quota: quota,
+		})
+		if err != nil {
+			t.Fatalf("BuildPlan(%v): %v", s, err)
+		}
+		if len(p.Outcomes) != len(specs) || p.Stats.TotalTokenSeconds <= 0 {
+			t.Fatalf("BuildPlan(%v) stats %+v", s, p.Stats)
+		}
+		for _, a := range p.Allocations {
+			if a.Tokens > quota["acme"] {
+				t.Fatalf("BuildPlan(%v): allocation %d exceeds acme quota", s, a.Tokens)
+			}
+		}
+		switch s {
+		case tasq.FCFSStrategy:
+			fcfsCost = p.Stats.TotalTokenSeconds
+		case tasq.BackfillStrategy:
+			if p.Stats.TotalTokenSeconds > fcfsCost {
+				t.Fatalf("backfill cost %d > fcfs %d", p.Stats.TotalTokenSeconds, fcfsCost)
+			}
+		case tasq.RetryStrategy:
+			if p.Stats.TotalTokenSeconds < fcfsCost {
+				t.Fatalf("retry cost %d < fcfs %d", p.Stats.TotalTokenSeconds, fcfsCost)
+			}
+		}
+	}
+}
